@@ -1,0 +1,314 @@
+package unit
+
+import (
+	"testing"
+
+	"unitdb/internal/core"
+	"unitdb/internal/core/admission"
+	"unitdb/internal/core/ufm"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/eventsim"
+	"unitdb/internal/experiments"
+	"unitdb/internal/lottery"
+	"unitdb/internal/readyq"
+	"unitdb/internal/stats"
+	"unitdb/internal/txn"
+	"unitdb/internal/workload"
+)
+
+// The Benchmark*-per-artifact functions below regenerate reduced-scale
+// versions of every table and figure in the paper's evaluation and report
+// the headline numbers as benchmark metrics. cmd/unitexp runs the
+// full-scale versions; see EXPERIMENTS.md for the recorded results.
+
+// benchConfig is the reduced-scale trace (one tenth of the paper's
+// queries, proportionally fewer items so per-item statistics hold). The
+// shapes match the full-scale EXPERIMENTS.md results; absolute USM values
+// differ slightly.
+func benchConfig() experiments.Config {
+	return experiments.QuickConfig()
+}
+
+// BenchmarkTable1UpdateTraces regenerates the nine update traces of paper
+// Table 1 and reports the realized correlation of the med-pos cell.
+func BenchmarkTable1UpdateTraces(b *testing.B) {
+	cfg := benchConfig()
+	var lastCorr float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Trace == "med-pos" {
+				lastCorr = r.RealizedCorrelation
+			}
+		}
+	}
+	b.ReportMetric(lastCorr, "corr(med-pos)")
+}
+
+// BenchmarkFig3UpdateModulation runs UNIT on med-neg and reports how much
+// of the update volume it drops (paper Fig. 3 case study 2).
+func BenchmarkFig3UpdateModulation(b *testing.B) {
+	cfg := benchConfig()
+	var dropFrac float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig3(cfg, workload.Med, workload.NegativeCorrelation)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dropFrac = float64(f.TotalDropped) / float64(f.TotalApplied+f.TotalDropped)
+	}
+	b.ReportMetric(dropFrac, "dropped-frac")
+}
+
+// BenchmarkFig4NaiveUSM runs the full naive-USM grid (9 traces x 4
+// policies) and reports UNIT's and the best competitor's USM at med-unif.
+func BenchmarkFig4NaiveUSM(b *testing.B) {
+	cfg := benchConfig()
+	var unitUSM, bestOther float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unitUSM = f.Cell(workload.Med, workload.Uniform, experiments.UNIT).USM
+		bestOther = 0
+		for _, p := range []experiments.PolicyName{experiments.IMU, experiments.ODU, experiments.QMF} {
+			if c := f.Cell(workload.Med, workload.Uniform, p); c.USM > bestOther {
+				bestOther = c.USM
+			}
+		}
+	}
+	b.ReportMetric(unitUSM, "USM(UNIT,med-unif)")
+	b.ReportMetric(bestOther, "USM(best-other)")
+}
+
+// BenchmarkFig5WeightedUSM runs the Table 2 weight sweep on med-unif and
+// reports UNIT's USM spread (its stability claim).
+func BenchmarkFig5WeightedUSM(b *testing.B) {
+	cfg := benchConfig()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = f.UNITSpread("penalties<1")
+	}
+	b.ReportMetric(spread, "UNIT-USM-spread")
+}
+
+// BenchmarkFig6RatioDistribution derives the outcome decomposition and
+// reports QMF's rejection ratio (its signature in paper Fig. 6).
+func BenchmarkFig6RatioDistribution(b *testing.B) {
+	cfg := benchConfig()
+	var qmfReject float64
+	for i := 0; i < b.N; i++ {
+		f5, err := experiments.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range experiments.Fig6(f5) {
+			if row.Policy == experiments.QMF {
+				qmfReject = row.Reject
+			}
+		}
+	}
+	b.ReportMetric(qmfReject, "QMF-reject-ratio")
+}
+
+// --- ablation benches: the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationNoAdmissionControl compares UNIT with and without
+// admission control on the bursty med-unif trace.
+func BenchmarkAblationNoAdmissionControl(b *testing.B) {
+	cfg := QuickConfig()
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		r, err := RunWorkload(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with = r.USM
+		c2 := cfg
+		c2.Policy = PolicyIMU // admit-everything, apply-everything
+		r2, err := RunWorkload(c2, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without = r2.USM
+	}
+	b.ReportMetric(with, "USM(UNIT)")
+	b.ReportMetric(without, "USM(no-control)")
+}
+
+// --- hot-path micro benches ---
+
+func BenchmarkLotterySample(b *testing.B) {
+	s := lottery.NewSampler(1024)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 1024; i++ {
+		s.Set(i, rng.Normal(0, 5))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng.Float64())
+	}
+}
+
+func BenchmarkLotteryUpdate(b *testing.B) {
+	s := lottery.NewSampler(1024)
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(i%1024, rng.Float64())
+	}
+}
+
+func BenchmarkAdmissionDecision(b *testing.B) {
+	ctrl := admission.New(usm.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.2})
+	var queued []*txn.Txn
+	for i := 0; i < 64; i++ {
+		queued = append(queued, txn.NewQuery(int64(i), 0, []int{i}, 1, float64(10+i), 0.9))
+	}
+	view := benchView{queued: queued}
+	cand := txn.NewQuery(999, 0, []int{1}, 1, 50, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Admit(0, cand, view)
+	}
+}
+
+type benchView struct{ queued []*txn.Txn }
+
+func (v benchView) RunningRemaining() float64 { return 0.5 }
+func (v benchView) UpdateBacklog() float64    { return 2 }
+func (v benchView) QueuedQueries() []*txn.Txn { return v.queued }
+
+func BenchmarkReadyQueueOps(b *testing.B) {
+	q := readyq.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := txn.NewQuery(int64(i), 0, []int{0}, 1, float64(i%100)+1, 0.9)
+		q.Push(t)
+		if q.Len() > 128 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkEventSimThroughput(b *testing.B) {
+	s := eventsim.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(1, tick)
+	s.RunAll()
+}
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	cfg := QuickConfig()
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		p, err := NewPolicy(PolicyUNIT, usm.Weights{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = r.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	cfg := workload.SmallQueryConfig()
+	for i := 0; i < b.N; i++ {
+		q, err := workload.GenerateQueries(cfg, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, workload.NegativeCorrelation), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example of the one-cell API in benchmark form, for each policy.
+func BenchmarkPolicyCell(b *testing.B) {
+	cfg := QuickConfig()
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []PolicyName{PolicyIMU, PolicyODU, PolicyQMF, PolicyUNIT} {
+		b.Run(string(p), func(b *testing.B) {
+			var usmVal float64
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Policy = p
+				r, err := RunWorkload(c, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				usmVal = r.USM
+			}
+			b.ReportMetric(usmVal, "USM")
+		})
+	}
+}
+
+// BenchmarkAblationVictimSelection compares UNIT's randomized lottery
+// victim selection (the paper's choice, §5) against deterministic stride
+// scheduling on the med-unif trace.
+func BenchmarkAblationVictimSelection(b *testing.B) {
+	cfg := QuickConfig()
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(opts ...ufm.Option) float64 {
+		pcfg := core.DefaultConfig(usm.Weights{})
+		pcfg.ModulatorOptions = opts
+		e, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), core.New(pcfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r.USM
+	}
+	var lotteryUSM, strideUSM float64
+	for i := 0; i < b.N; i++ {
+		lotteryUSM = run()
+		strideUSM = run(ufm.WithStrideSelection(0))
+	}
+	b.ReportMetric(lotteryUSM, "USM(lottery)")
+	b.ReportMetric(strideUSM, "USM(stride)")
+}

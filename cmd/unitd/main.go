@@ -1,0 +1,56 @@
+// Command unitd runs the live web-database server: an in-memory store with
+// UNIT's admission control, update frequency modulation and feedback
+// control, fronted by HTTP.
+//
+// Usage:
+//
+//	unitd -addr :8080 -items 1024 -workers 4 -cr 0.2 -cfm 0.8 -cfs 0.2
+//
+// Endpoints:
+//
+//	GET  /query?items=3,5&deadline=200ms&work=20ms&freshness=0.9
+//	POST /update?item=3&value=1.23&work=5ms
+//	GET  /stats
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"unitdb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	items := flag.Int("items", 1024, "number of data items")
+	workers := flag.Int("workers", 4, "query worker pool size")
+	cr := flag.Float64("cr", 0, "rejection penalty C_r")
+	cfm := flag.Float64("cfm", 0, "deadline-missed penalty C_fm")
+	cfs := flag.Float64("cfs", 0, "data-stale penalty C_fs")
+	control := flag.Duration("control", 250*time.Millisecond, "LBC control period")
+	flag.Parse()
+
+	cfg := unit.DefaultServerConfig()
+	cfg.NumItems = *items
+	cfg.Workers = *workers
+	cfg.Weights = unit.Weights{Cr: *cr, Cfm: *cfm, Cfs: *cfs}
+	cfg.ControlPeriod = *control
+
+	srv, err := unit.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unitd: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	fmt.Printf("unitd: serving %d items on %s (workers=%d, weights=%+v)\n",
+		*items, *addr, *workers, cfg.Weights)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "unitd: %v\n", err)
+		os.Exit(1)
+	}
+}

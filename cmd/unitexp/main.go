@@ -1,0 +1,132 @@
+// Command unitexp regenerates the paper's evaluation artifacts: Table 1
+// (update traces), Figure 3 (access/update distributions under UNIT),
+// Figure 4 (naive USM grid), Figure 5 with Table 2 (weighted USM
+// sensitivity) and Figure 6 (outcome-ratio decomposition).
+//
+// Usage:
+//
+//	unitexp -exp all            # everything, full scale
+//	unitexp -exp fig4 -quick    # one artifact at reduced scale
+//	unitexp -exp fig3 -csv out  # also dump Figure 3 per-item CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"unitdb/internal/experiments"
+	"unitdb/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, sens or all")
+	quick := flag.Bool("quick", false, "use the reduced-scale trace")
+	csvDir := flag.String("csv", "", "directory for Figure 3 per-item CSV dumps")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "unitexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("table1", func() error {
+			rows, err := experiments.Table1(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Table 1: update traces")
+			return experiments.WriteTable1(os.Stdout, rows)
+		})
+	}
+	if want("fig3") {
+		run("fig3", func() error {
+			for _, d := range []workload.Distribution{workload.Uniform, workload.NegativeCorrelation} {
+				f, err := experiments.Fig3(cfg, workload.Med, d)
+				if err != nil {
+					return err
+				}
+				if err := experiments.WriteFig3(os.Stdout, f); err != nil {
+					return err
+				}
+				fmt.Println()
+				if *csvDir != "" {
+					path := filepath.Join(*csvDir, "fig3-"+f.Trace+".csv")
+					out, err := os.Create(path)
+					if err != nil {
+						return err
+					}
+					if err := f.WriteCSV(out); err != nil {
+						out.Close()
+						return err
+					}
+					if err := out.Close(); err != nil {
+						return err
+					}
+					fmt.Printf("wrote %s\n", path)
+				}
+			}
+			return nil
+		})
+	}
+	var fig5 *experiments.Fig5Result
+	if want("fig4") {
+		run("fig4", func() error {
+			f, err := experiments.Fig4(cfg)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteFig4(os.Stdout, f); err != nil {
+				return err
+			}
+			fmt.Printf("UNIT wins every cell: %v\n", f.UNITWinsEverywhere())
+			return nil
+		})
+	}
+	if want("fig5") || want("fig6") {
+		run("fig5", func() error {
+			f, err := experiments.Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			fig5 = f
+			if *exp == "fig6" {
+				return nil // only needed as input for fig6
+			}
+			fmt.Println("Table 2 weight settings are printed with each panel.")
+			if err := experiments.WriteFig5(os.Stdout, f); err != nil {
+				return err
+			}
+			fmt.Printf("UNIT best under every weight setting: %v\n", f.UNITBestEverywhere())
+			return nil
+		})
+	}
+	if want("fig6") {
+		run("fig6", func() error {
+			return experiments.WriteFig6(os.Stdout, experiments.Fig6(fig5))
+		})
+	}
+	if want("sens") {
+		run("sens", func() error {
+			rows, err := experiments.SensitivityCDu(cfg, nil)
+			if err != nil {
+				return err
+			}
+			return experiments.WriteSensitivity(os.Stdout, rows)
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Command unitgen synthesizes and inspects workload traces.
+//
+// Usage:
+//
+//	unitgen -volume med -dist unif -out trace.gob     # generate and save
+//	unitgen -in trace.gob                              # inspect a saved trace
+//	unitgen -volume med -dist neg -queries-csv q.csv -updates-csv u.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"unitdb/internal/workload"
+)
+
+func main() {
+	volume := flag.String("volume", "med", "update volume: low, med or high")
+	dist := flag.String("dist", "unif", "update distribution: unif, pos or neg")
+	quick := flag.Bool("quick", false, "use the reduced-scale trace")
+	seed := flag.Uint64("seed", 42, "query-trace seed")
+	updSeed := flag.Uint64("update-seed", 43, "update-trace seed")
+	out := flag.String("out", "", "write the trace to this file (gob)")
+	in := flag.String("in", "", "inspect a saved trace instead of generating")
+	queriesCSV := flag.String("queries-csv", "", "export the query trace as CSV")
+	updatesCSV := flag.String("updates-csv", "", "export the update feeds as CSV")
+	flag.Parse()
+
+	var w *workload.Workload
+	var err error
+	if *in != "" {
+		w, err = workload.LoadFile(*in)
+		if err != nil {
+			fatalf("load %s: %v", *in, err)
+		}
+	} else {
+		qcfg := workload.DefaultQueryConfig()
+		if *quick {
+			qcfg = workload.SmallQueryConfig()
+		}
+		q, err := workload.GenerateQueries(qcfg, *seed)
+		if err != nil {
+			fatalf("generate queries: %v", err)
+		}
+		v, ok := parseVolume(*volume)
+		if !ok {
+			fatalf("unknown volume %q", *volume)
+		}
+		d, ok := parseDist(*dist)
+		if !ok {
+			fatalf("unknown distribution %q", *dist)
+		}
+		w, err = workload.GenerateUpdates(q, workload.DefaultUpdateConfig(v, d), *updSeed)
+		if err != nil {
+			fatalf("generate updates: %v", err)
+		}
+	}
+
+	fmt.Printf("trace %s: %d items, %.0fs duration\n", w.Name, w.NumItems, w.Duration)
+	fmt.Printf("queries: %d (utilization %.3f)\n", len(w.Queries), w.QueryUtilization())
+	fmt.Printf("update feeds: %d, source updates %d (utilization %.3f)\n",
+		len(w.Updates), w.TotalSourceUpdates(), w.UpdateUtilization())
+	fmt.Printf("update/query spatial correlation: %+.3f\n", w.Correlation())
+
+	if *out != "" {
+		if err := w.SaveFile(*out); err != nil {
+			fatalf("save %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *queriesCSV != "" {
+		exportCSV(*queriesCSV, w.WriteQueriesCSV)
+	}
+	if *updatesCSV != "" {
+		exportCSV(*updatesCSV, w.WriteUpdatesCSV)
+	}
+}
+
+func exportCSV(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("create %s: %v", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("write %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func parseVolume(s string) (workload.Volume, bool) {
+	switch strings.ToLower(s) {
+	case "low":
+		return workload.Low, true
+	case "med", "medium":
+		return workload.Med, true
+	case "high":
+		return workload.High, true
+	}
+	return 0, false
+}
+
+func parseDist(s string) (workload.Distribution, bool) {
+	switch strings.ToLower(s) {
+	case "unif", "uniform":
+		return workload.Uniform, true
+	case "pos", "positive":
+		return workload.PositiveCorrelation, true
+	case "neg", "negative":
+		return workload.NegativeCorrelation, true
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "unitgen: "+format+"\n", args...)
+	os.Exit(1)
+}

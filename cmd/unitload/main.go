@@ -1,0 +1,161 @@
+// Command unitload drives a running unitd server with a synthetic
+// workload over HTTP: a periodic update feed plus a Zipf-skewed query
+// stream with firm deadlines, optionally with a flash crowd in the middle.
+// It prints a per-phase outcome histogram and the server's final stats.
+//
+// Usage:
+//
+//	unitd -addr :8080 &
+//	unitload -addr http://localhost:8080 -duration 10s -qps 50 -burst-qps 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"unitdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "unitd base URL")
+	items := flag.Int("items", 1024, "data items the server was started with")
+	duration := flag.Duration("duration", 10*time.Second, "total run length")
+	qps := flag.Float64("qps", 50, "baseline query rate")
+	burstQPS := flag.Float64("burst-qps", 400, "query rate during the flash crowd")
+	burstLen := flag.Duration("burst", 2*time.Second, "flash-crowd length (mid-run)")
+	ups := flag.Float64("ups", 100, "update-feed rate")
+	deadline := flag.Duration("deadline", 150*time.Millisecond, "query deadline")
+	work := flag.Duration("work", 10*time.Millisecond, "query execution cost")
+	uwork := flag.Duration("uwork", 2*time.Millisecond, "update execution cost")
+	skew := flag.Float64("skew", 1.4, "Zipf skew of query accesses")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	client := server.NewClient(*addr, nil)
+	if !client.Healthy() {
+		fmt.Fprintf(os.Stderr, "unitload: no healthy server at %s\n", *addr)
+		os.Exit(1)
+	}
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+	record := func(o string) {
+		mu.Lock()
+		counts[o]++
+		mu.Unlock()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Update feed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(*seed))
+		ticker := time.NewTicker(time.Duration(float64(time.Second) / *ups))
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				item := rng.Intn(*items)
+				go func() {
+					_, _ = client.Update(server.UpdateRequest{
+						Item: item, Value: rng.Float64() * 100, Work: *uwork,
+					})
+				}()
+			}
+		}
+	}()
+
+	// Query stream with a flash crowd in the middle third.
+	start := time.Now()
+	burstStart := *duration/2 - *burstLen/2
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var queries sync.WaitGroup
+		defer queries.Wait()
+		rng := rand.New(rand.NewSource(*seed + 1))
+		ranks := zipfRanks(rng, *items, *skew)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			elapsed := time.Since(start)
+			rate := *qps
+			if elapsed > burstStart && elapsed < burstStart+*burstLen {
+				rate = *burstQPS
+			}
+			time.Sleep(time.Duration(float64(time.Second) / rate))
+			item := ranks[rng.Intn(len(ranks))]
+			queries.Add(1)
+			go func(item int) {
+				defer queries.Done()
+				resp, err := client.Query(server.QueryRequest{
+					Items: []int{item}, Deadline: *deadline, Work: *work, Freshness: 0.9,
+				})
+				if err != nil {
+					record("error")
+					return
+				}
+				record(string(resp.Outcome))
+			}(item)
+		}
+	}()
+
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("outcomes after %s:\n", *duration)
+	for _, k := range keys {
+		fmt.Printf("  %-16s %d\n", k, counts[k])
+	}
+	mu.Unlock()
+
+	st, err := client.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unitload: stats: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("server: usm=%.3f cflex=%.2f degraded=%d updates applied=%d dropped=%d queue=%d\n",
+		st.USM, st.CFlex, st.DegradedItems, st.UpdatesApplied, st.UpdatesDropped, st.QueueLength)
+}
+
+// zipfRanks precomputes a sampling table: item i appears proportionally to
+// 1/(i+1)^skew, so indexing uniformly yields a Zipf-skewed item stream.
+func zipfRanks(rng *rand.Rand, n int, skew float64) []int {
+	const tableSize = 1 << 14
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), skew)
+		total += weights[i]
+	}
+	table := make([]int, 0, tableSize)
+	for i, w := range weights {
+		k := int(w / total * tableSize)
+		for j := 0; j <= k; j++ {
+			table = append(table, i)
+		}
+	}
+	rng.Shuffle(len(table), func(i, j int) { table[i], table[j] = table[j], table[i] })
+	return table
+}

@@ -1,0 +1,88 @@
+// Command unitsim runs one simulation cell — a (policy, update trace,
+// weights) combination — and prints the resulting metrics.
+//
+// Usage:
+//
+//	unitsim -policy UNIT -volume med -dist unif -cr 0 -cfm 0 -cfs 0 [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unitdb"
+	"unitdb/internal/workload"
+)
+
+func main() {
+	policy := flag.String("policy", "UNIT", "policy: UNIT, IMU, ODU or QMF")
+	volume := flag.String("volume", "med", "update volume: low, med or high")
+	dist := flag.String("dist", "unif", "update distribution: unif, pos or neg")
+	cr := flag.Float64("cr", 0, "rejection penalty C_r")
+	cfm := flag.Float64("cfm", 0, "deadline-missed penalty C_fm")
+	cfs := flag.Float64("cfs", 0, "data-stale penalty C_fs")
+	quick := flag.Bool("quick", false, "use the reduced-scale trace")
+	seed := flag.Uint64("seed", 42, "query-trace seed")
+	flag.Parse()
+
+	cfg := unit.DefaultConfig()
+	if *quick {
+		cfg = unit.QuickConfig()
+	}
+	cfg.Policy = unit.PolicyName(strings.ToUpper(*policy))
+	cfg.Weights = unit.Weights{Cr: *cr, Cfm: *cfm, Cfs: *cfs}
+	cfg.QuerySeed = *seed
+
+	var ok bool
+	if cfg.Volume, ok = parseVolume(*volume); !ok {
+		fatalf("unknown volume %q (low, med, high)", *volume)
+	}
+	if cfg.Distribution, ok = parseDist(*dist); !ok {
+		fatalf("unknown distribution %q (unif, pos, neg)", *dist)
+	}
+
+	res, err := unit.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(res)
+	fmt.Printf("counts: success=%d rejected=%d dmf=%d dsf=%d\n",
+		res.Counts.Success, res.Counts.Rejected, res.Counts.DMF, res.Counts.DSF)
+	fmt.Printf("updates: applied=%d dropped=%d superseded=%d refreshes=%d\n",
+		res.UpdatesApplied, res.UpdatesDropped, res.UpdatesSuperseded, res.RefreshesIssued)
+	fmt.Printf("cpu: total=%.3f query=%.3f update=%.3f\n", res.CPUUtilization, res.QueryCPU, res.UpdateCPU)
+	fmt.Printf("engine: hpAborts=%d preemptions=%d restarts=%d events=%d\n",
+		res.HPAborts, res.Preemptions, res.Restarts, res.Events)
+	fmt.Printf("committed queries: avgFreshness=%.4f avgLatency=%.3fs\n", res.AvgFreshness, res.AvgLatency)
+}
+
+func parseVolume(s string) (workload.Volume, bool) {
+	switch strings.ToLower(s) {
+	case "low":
+		return workload.Low, true
+	case "med", "medium":
+		return workload.Med, true
+	case "high":
+		return workload.High, true
+	}
+	return 0, false
+}
+
+func parseDist(s string) (workload.Distribution, bool) {
+	switch strings.ToLower(s) {
+	case "unif", "uniform":
+		return workload.Uniform, true
+	case "pos", "positive":
+		return workload.PositiveCorrelation, true
+	case "neg", "negative":
+		return workload.NegativeCorrelation, true
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "unitsim: "+format+"\n", args...)
+	os.Exit(1)
+}

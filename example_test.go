@@ -1,0 +1,50 @@
+package unit_test
+
+import (
+	"fmt"
+
+	"unitdb"
+)
+
+// ExampleRun simulates UNIT on a reduced med-unif trace and reports the
+// satisfaction metric's components.
+func ExampleRun() {
+	cfg := unit.QuickConfig()
+	cfg.Query.NumQueries = 1500
+	cfg.Query.Duration = 6000
+
+	r, err := unit.Run(cfg) // Policy defaults to UNIT, weights to naive
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("policy:", r.Policy)
+	fmt.Println("trace:", r.Trace)
+	fmt.Println("outcomes:", r.Counts.Total())
+	fmt.Println("all queries resolved:", r.Counts.Total() == 1500)
+	// Output:
+	// policy: UNIT
+	// trace: med-unif
+	// outcomes: 1500
+	// all queries resolved: true
+}
+
+// ExampleCompare runs two algorithms on the identical workload and shows
+// that the adaptive policy dominates the naive one under update overload.
+func ExampleCompare() {
+	cfg := unit.QuickConfig()
+	cfg.Query.NumQueries = 1500
+	cfg.Query.Duration = 6000
+	cfg.Volume = unit.Med
+
+	results, err := unit.Compare(cfg, unit.PolicyIMU, unit.PolicyUNIT)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("same workload:", results[0].Counts.Total() == results[1].Counts.Total())
+	fmt.Println("UNIT beats IMU:", results[1].USM > results[0].USM)
+	// Output:
+	// same workload: true
+	// UNIT beats IMU: true
+}

@@ -1,0 +1,119 @@
+// Flashcrowd: drive the live HTTP server through its REST interface while
+// a flash crowd hits it — the "unpredictable access patterns / periods of
+// peak request load" the paper's introduction warns about. The example
+// starts unitd's server in-process on a loopback listener, fires a
+// steady query stream plus a burst, and reads /stats to show admission
+// control reacting.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unitdb"
+)
+
+func main() {
+	cfg := unit.DefaultServerConfig()
+	cfg.NumItems = 128
+	cfg.Workers = 2
+	cfg.ControlPeriod = 100 * time.Millisecond
+	cfg.GracePeriod = 300 * time.Millisecond
+	cfg.Weights = unit.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.2}
+	srv, err := unit.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("live server at %s\n", ts.URL)
+
+	var ok, rejected, missed, stale atomic.Int64
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	get := func(url string) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok.Add(1)
+		case http.StatusTooManyRequests:
+			rejected.Add(1)
+		case http.StatusGatewayTimeout:
+			missed.Add(1)
+		case http.StatusPartialContent:
+			stale.Add(1)
+		}
+	}
+
+	// Background update feed over HTTP.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				url := fmt.Sprintf("%s/update?item=%d&value=%d&work=1ms", ts.URL, i%128, i)
+				resp, err := client.Post(url, "", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+				i++
+			}
+		}
+	}()
+
+	// Steady load, then a flash crowd, then steady again.
+	phase := func(name string, clients int, queries int) {
+		var pw sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			pw.Add(1)
+			go func(c int) {
+				defer pw.Done()
+				for q := 0; q < queries; q++ {
+					item := (c + q) % 16 // hot set
+					get(fmt.Sprintf("%s/query?items=%d&deadline=120ms&work=15ms&freshness=0.9", ts.URL, item))
+				}
+			}(c)
+		}
+		pw.Wait()
+		fmt.Printf("%-12s ok=%d rejected=%d missed=%d stale=%d\n",
+			name, ok.Load(), rejected.Load(), missed.Load(), stale.Load())
+	}
+
+	phase("steady", 2, 40)
+	phase("flash crowd", 16, 25)
+	phase("recovery", 2, 40)
+
+	close(stop)
+	wg.Wait()
+
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: usm=%v cflex=%v queue=%v updates applied=%v dropped=%v\n",
+		stats["usm"], stats["cflex"], stats["queue_length"],
+		stats["updates_applied"], stats["updates_dropped"])
+}

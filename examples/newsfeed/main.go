@@ -1,0 +1,79 @@
+// Newsfeed: personalized blog/news aggregation (another §1 motivating
+// workload) as a simulation study. Feeds update articles at very different
+// rates (breaking-news feeds churn constantly, archival feeds rarely), and
+// readers overwhelmingly request the trending stories. The example sweeps
+// user preferences — latency-lovers versus freshness-lovers — and shows
+// how UNIT shifts its failure mix while the baselines cannot (the paper's
+// §4.4/§4.5 story).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unitdb"
+	"unitdb/internal/workload"
+)
+
+func main() {
+	// Reader traffic: strongly skewed toward trending stories.
+	qcfg := workload.SmallQueryConfig()
+	qcfg.ZipfSkew = 1.4
+
+	// Feed behaviour: update volume anti-correlated with reads — the
+	// archival feeds (rarely read) republish aggressively while trending
+	// stories change less often. That is the paper's med-neg cell, where
+	// most updates are safely droppable.
+	ucfg := workload.DefaultUpdateConfig(workload.Med, workload.NegativeCorrelation)
+
+	personas := []struct {
+		name    string
+		weights unit.Weights
+	}{
+		{"balanced reader (naive)", unit.Weights{}},
+		{"impatient reader (hates waiting)", unit.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.2}},
+		{"accuracy-first reader (hates stale news)", unit.Weights{Cr: 0.2, Cfm: 0.2, Cfs: 0.8}},
+	}
+
+	for _, persona := range personas {
+		cfg := unit.QuickConfig()
+		cfg.Query = qcfg
+		cfg.Update = &ucfg
+		cfg.Weights = persona.weights
+
+		results, err := unit.Compare(cfg, unit.PolicyODU, unit.PolicyUNIT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  (Cr=%.1f Cfm=%.1f Cfs=%.1f)\n",
+			persona.name, persona.weights.Cr, persona.weights.Cfm, persona.weights.Cfs)
+		for _, r := range results {
+			fmt.Printf("  %-5s USM=%+.4f success=%.3f reject=%.3f dmf=%.3f dsf=%.3f updates applied=%d\n",
+				r.Policy, r.USM, r.SuccessRatio, r.RejectionRatio, r.DMFRatio, r.DSFRatio, r.UpdatesApplied)
+		}
+		fmt.Println()
+	}
+	fmt.Println("UNIT's failure mix follows the persona; ODU's cannot move.")
+
+	// Mixed population (the paper's §3.1 extension): impatient and
+	// accuracy-first readers share the same server, each query carrying its
+	// own penalties; UNIT balances across both.
+	mixed := qcfg
+	mixed.PreferenceMix = []workload.PreferenceClass{
+		{Weights: unit.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.2}, Fraction: 0.5},
+		{Weights: unit.Weights{Cr: 0.2, Cfm: 0.2, Cfs: 0.8}, Fraction: 0.5},
+	}
+	cfg := unit.QuickConfig()
+	cfg.Query = mixed
+	cfg.Update = &ucfg
+	r, err := unit.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmixed population: overall USM=%+.4f\n", r.USM)
+	labels := []string{"impatient half", "accuracy-first half"}
+	for i, c := range r.PerClass {
+		fmt.Printf("  %-20s USM=%+.4f success=%d reject=%d dmf=%d dsf=%d\n",
+			labels[i], c.ClassUSM, c.Counts.Success, c.Counts.Rejected, c.Counts.DMF, c.Counts.DSF)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: run the paper's med-unif scenario with all four algorithms
+// and print the User Satisfaction Metric comparison — a one-screen tour of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unitdb"
+)
+
+func main() {
+	// A reduced-scale scenario keeps this example fast; use
+	// unit.DefaultConfig() for the full paper-scale trace.
+	cfg := unit.QuickConfig()
+	cfg.Volume = unit.Med           // 75% update-only CPU utilization
+	cfg.Distribution = unit.Uniform // updates spread evenly over the data
+
+	// The naive USM (all penalties zero) equals the plain success ratio.
+	results, err := unit.Compare(cfg,
+		unit.PolicyIMU, unit.PolicyODU, unit.PolicyQMF, unit.PolicyUNIT)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("policy  USM     success  reject  dmf     dsf")
+	for _, r := range results {
+		fmt.Printf("%-6s  %.4f  %.3f    %.3f   %.3f   %.3f\n",
+			r.Policy, r.USM, r.SuccessRatio, r.RejectionRatio, r.DMFRatio, r.DSFRatio)
+	}
+
+	// Now the same scenario with user preferences: deadline misses are the
+	// most annoying failure (C_fm = 0.8), rejections and staleness less so.
+	cfg.Weights = unit.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.2}
+	r, err := unit.Run(cfg) // cfg.Policy defaults to UNIT
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nUNIT with high C_fm: USM=%.4f (dmf ratio %.3f)\n", r.USM, r.DMFRatio)
+}

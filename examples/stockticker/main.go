@@ -1,0 +1,131 @@
+// Stockticker: the paper's motivating scenario (§1) on the live server — a
+// stock-monitoring service receives price ticks (periodic updates) while
+// traders run portfolio queries with firm deadlines ("modern stock trading
+// web sites offer guarantees, e.g. 2 seconds") and freshness requirements.
+//
+// A burst of trader queries overloads the server mid-run; watch UNIT's
+// admission control and update modulation keep the satisfaction metric up
+// while hot symbols stay fresh.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"unitdb"
+)
+
+const (
+	numSymbols  = 64
+	hotSymbols  = 8 // the symbols most portfolios track
+	tickEvery   = 5 * time.Millisecond
+	runFor      = 6 * time.Second
+	burstStart  = 2 * time.Second
+	burstLength = 2 * time.Second
+)
+
+func main() {
+	cfg := unit.DefaultServerConfig()
+	cfg.NumItems = numSymbols
+	cfg.Workers = 2
+	cfg.ControlPeriod = 100 * time.Millisecond
+	cfg.GracePeriod = 300 * time.Millisecond
+	// Traders hate waiting for a verdict more than a polite rejection.
+	cfg.Weights = unit.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.4}
+	srv, err := unit.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// The exchange feed: every symbol ticks periodically; applying a tick
+	// costs a little computation (index recalculation, say).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		ticker := time.NewTicker(tickEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				symbol := rng.Intn(numSymbols)
+				_, err := srv.Update(unit.UpdateRequest{
+					Item:  symbol,
+					Value: 100 + rng.Float64()*50,
+					Work:  2 * time.Millisecond,
+				})
+				if err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Traders: mostly quote the hot symbols, with a firm 150ms deadline
+	// and a 90% freshness requirement. During the flash crowd the arrival
+	// rate quadruples.
+	start := time.Now()
+	var mu sync.Mutex
+	counts := map[string]int{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var traders sync.WaitGroup
+		defer traders.Wait()
+		rng := rand.New(rand.NewSource(2))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			elapsed := time.Since(start)
+			gap := 25 * time.Millisecond
+			if elapsed > burstStart && elapsed < burstStart+burstLength {
+				gap = 2 * time.Millisecond // flash crowd
+			}
+			time.Sleep(gap)
+			symbol := rng.Intn(hotSymbols)
+			if rng.Float64() < 0.1 {
+				symbol = rng.Intn(numSymbols) // occasional cold lookup
+			}
+			// Each trader is its own goroutine: arrivals keep coming while
+			// earlier queries are still in flight, so the flash crowd
+			// genuinely overloads the worker pool.
+			traders.Add(1)
+			go func(symbol int) {
+				defer traders.Done()
+				resp := srv.Query(unit.QueryRequest{
+					Items:     []int{symbol},
+					Deadline:  150 * time.Millisecond,
+					Work:      15 * time.Millisecond,
+					Freshness: 0.9,
+				})
+				mu.Lock()
+				counts[string(resp.Outcome)]++
+				mu.Unlock()
+			}(symbol)
+		}
+	}()
+
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+
+	stats := srv.Stats()
+	fmt.Printf("after %s of trading:\n", runFor)
+	mu.Lock()
+	fmt.Printf("  outcomes: %v\n", counts)
+	mu.Unlock()
+	fmt.Printf("  USM=%.3f cflex=%.2f degraded symbols=%d\n", stats.USM, stats.CFlex, stats.DegradedItems)
+	fmt.Printf("  ticks applied=%d dropped=%d\n", stats.UpdatesApplied, stats.UpdatesDropped)
+}

@@ -1,0 +1,3 @@
+module unitdb
+
+go 1.22

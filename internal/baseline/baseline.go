@@ -1,0 +1,70 @@
+// Package baseline implements the two baseline algorithms of paper §4.1:
+//
+//   - IMU (Immediate Update): every source update executes; no admission
+//     control. 100% freshness, but the update load starves queries when it
+//     is high.
+//   - ODU (On-demand Update): background updates are deferred; when an
+//     admitted query is about to read a stale item, a refresh update is
+//     issued first. Also 100% fresh, but the refresh delays the query.
+//
+// The state-of-the-art comparator QMF lives in the qmf subpackage.
+package baseline
+
+import (
+	"unitdb/internal/engine"
+	"unitdb/internal/txn"
+)
+
+// IMU is the immediate-update baseline.
+type IMU struct {
+	engine.Base
+}
+
+// NewIMU creates the IMU policy.
+func NewIMU() *IMU { return &IMU{} }
+
+// Name implements engine.Policy.
+func (*IMU) Name() string { return "IMU" }
+
+var _ engine.Policy = (*IMU)(nil)
+
+// ODU is the on-demand-update baseline.
+type ODU struct {
+	engine.Base
+	e *engine.Engine
+}
+
+// NewODU creates the ODU policy.
+func NewODU() *ODU { return &ODU{} }
+
+// Name implements engine.Policy.
+func (*ODU) Name() string { return "ODU" }
+
+// Attach implements engine.Policy.
+func (o *ODU) Attach(e *engine.Engine) { o.e = e }
+
+// AdmitUpdate implements engine.Policy: background updates are always
+// deferred (counted as drops) and applied on demand.
+func (*ODU) AdmitUpdate(int) bool { return false }
+
+// BeforeQueryDispatch implements engine.Policy: when the query is about to
+// read a stale item, issue a refresh update at update-class priority with
+// the query's deadline and postpone the query until the data are fresh.
+func (o *ODU) BeforeQueryDispatch(q *txn.Txn) bool {
+	store := o.e.Store()
+	stale := false
+	for _, item := range q.Items {
+		if store.Drops(item) == 0 {
+			continue
+		}
+		stale = true
+		if o.e.PendingUpdateFor(item) == nil {
+			if exec, ok := o.e.FeedExec(item); ok {
+				o.e.EnqueueRefresh(item, exec, q.Deadline)
+			}
+		}
+	}
+	return !stale
+}
+
+var _ engine.Policy = (*ODU)(nil)

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"testing"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/workload"
+)
+
+func smallTrace(t *testing.T, v workload.Volume, d workload.Distribution) *workload.Workload {
+	t.Helper()
+	qc := workload.SmallQueryConfig()
+	qc.NumQueries = 2500
+	qc.Duration = 10000
+	q, err := workload.GenerateQueries(qc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(v, d), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func run(t *testing.T, w *workload.Workload, p engine.Policy) *engine.Results {
+	t.Helper()
+	e, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIMUNeverRejectsNeverStale(t *testing.T) {
+	w := smallTrace(t, workload.Med, workload.Uniform)
+	r := run(t, w, NewIMU())
+	if r.Counts.Rejected != 0 {
+		t.Fatalf("IMU rejected %d queries", r.Counts.Rejected)
+	}
+	if r.Counts.DSF != 0 {
+		t.Fatalf("IMU produced %d DSFs; it must be 100%% fresh (§4.1)", r.Counts.DSF)
+	}
+	if r.Counts.Total() != len(w.Queries) {
+		t.Fatalf("outcome conservation: %d != %d", r.Counts.Total(), len(w.Queries))
+	}
+	// IMU executes every update that is not superseded in queue.
+	if r.UpdatesDropped != r.UpdatesSuperseded {
+		t.Fatalf("IMU dropped %d beyond the %d supersedes", r.UpdatesDropped, r.UpdatesSuperseded)
+	}
+}
+
+func TestODUNeverRejectsNeverStale(t *testing.T) {
+	w := smallTrace(t, workload.Med, workload.Uniform)
+	r := run(t, w, NewODU())
+	if r.Counts.Rejected != 0 {
+		t.Fatalf("ODU rejected %d queries", r.Counts.Rejected)
+	}
+	if r.Counts.DSF != 0 {
+		t.Fatalf("ODU produced %d DSFs; on-demand refresh must read fresh (§4.1)", r.Counts.DSF)
+	}
+	if r.RefreshesIssued == 0 {
+		t.Fatal("ODU issued no on-demand refreshes")
+	}
+	if r.Counts.Total() != len(w.Queries) {
+		t.Fatalf("outcome conservation: %d != %d", r.Counts.Total(), len(w.Queries))
+	}
+}
+
+func TestODUExecutesFewerUpdatesThanIMU(t *testing.T) {
+	// ODU's whole point: skip updates nobody reads. Under a skewed query
+	// distribution with uniform updates, it must apply far fewer.
+	w := smallTrace(t, workload.Med, workload.Uniform)
+	imu := run(t, w, NewIMU())
+	odu := run(t, w, NewODU())
+	if odu.UpdatesApplied >= imu.UpdatesApplied {
+		t.Fatalf("ODU applied %d >= IMU's %d", odu.UpdatesApplied, imu.UpdatesApplied)
+	}
+	if odu.UpdateCPU >= imu.UpdateCPU {
+		t.Fatalf("ODU update CPU %.3f >= IMU's %.3f", odu.UpdateCPU, imu.UpdateCPU)
+	}
+}
+
+func TestIMUCollapsesAtHighVolume(t *testing.T) {
+	// Paper Fig. 4: at 150% update utilization IMU's success ratio goes to
+	// ~zero (updates starve every query).
+	w := smallTrace(t, workload.High, workload.Uniform)
+	r := run(t, w, NewIMU())
+	if r.SuccessRatio > 0.05 {
+		t.Fatalf("IMU success ratio %.3f at high volume; expected collapse", r.SuccessRatio)
+	}
+	odu := run(t, w, NewODU())
+	if odu.SuccessRatio < 0.2 {
+		t.Fatalf("ODU also collapsed (%.3f); the on-demand advantage is gone", odu.SuccessRatio)
+	}
+}
+
+func TestODUCloseToIMUUnderPositiveCorrelation(t *testing.T) {
+	// Paper §4.3 on Fig. 4(b): with updates concentrated on the queried
+	// items, on-demand refresh ends up applying most updates, closing the
+	// efficiency gap. Compare applied counts at low volume (where both
+	// survive).
+	w := smallTrace(t, workload.Low, workload.PositiveCorrelation)
+	imu := run(t, w, NewIMU())
+	odu := run(t, w, NewODU())
+	gapPos := float64(imu.UpdatesApplied-odu.UpdatesApplied) / float64(imu.UpdatesApplied)
+
+	wNeg := smallTrace(t, workload.Low, workload.NegativeCorrelation)
+	imuN := run(t, wNeg, NewIMU())
+	oduN := run(t, wNeg, NewODU())
+	gapNeg := float64(imuN.UpdatesApplied-oduN.UpdatesApplied) / float64(imuN.UpdatesApplied)
+
+	if gapPos >= gapNeg {
+		t.Fatalf("applied-updates gap pos=%.3f should be below neg=%.3f", gapPos, gapNeg)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewIMU().Name() != "IMU" || NewODU().Name() != "ODU" {
+		t.Fatal("policy names")
+	}
+}

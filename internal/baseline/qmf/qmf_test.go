@@ -1,0 +1,140 @@
+package qmf
+
+import (
+	"testing"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/txn"
+	"unitdb/internal/workload"
+)
+
+func smallTrace(t *testing.T, v workload.Volume) *workload.Workload {
+	t.Helper()
+	qc := workload.SmallQueryConfig()
+	qc.NumQueries = 2500
+	qc.Duration = 10000
+	q, err := workload.GenerateQueries(qc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(v, workload.Uniform), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestQMFEndToEnd(t *testing.T) {
+	w := smallTrace(t, workload.Med)
+	p := New(DefaultConfig())
+	e, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.Total() != len(w.Queries) {
+		t.Fatalf("outcome conservation: %d != %d", r.Counts.Total(), len(w.Queries))
+	}
+	// QMF's defining profile (paper §4.5): a distinctly high rejection
+	// ratio under overload while some queries still succeed.
+	if r.RejectionRatio < 0.2 {
+		t.Fatalf("QMF rejection ratio %.3f; expected its conservative shedding", r.RejectionRatio)
+	}
+	if r.Counts.Success == 0 {
+		t.Fatal("QMF succeeded on nothing at med volume")
+	}
+}
+
+func TestQMFKnobsMove(t *testing.T) {
+	w := smallTrace(t, workload.Med)
+	p := New(DefaultConfig())
+	e, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The admit fraction recovers to 1 during the trace's drain, so assert
+	// on the visible effect instead: the probabilistic gate rejected a
+	// substantial share of queries mid-run.
+	if r.Counts.Rejected == 0 {
+		t.Fatal("QMF's admission gate never engaged")
+	}
+}
+
+func TestQMFAdmissionGateIsProbabilistic(t *testing.T) {
+	p := New(DefaultConfig())
+	w := smallTrace(t, workload.Low)
+	if _, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), p); err != nil {
+		t.Fatal(err)
+	}
+	p.admitFrac = 0.5
+	admits := 0
+	q := txn.NewQuery(1, 0, []int{0}, 1, 10, 0.9)
+	for i := 0; i < 2000; i++ {
+		if p.AdmitQuery(q) {
+			admits++
+		}
+	}
+	if admits < 800 || admits > 1200 {
+		t.Fatalf("admit fraction 0.5 admitted %d/2000", admits)
+	}
+	p.admitFrac = 1
+	for i := 0; i < 100; i++ {
+		if !p.AdmitQuery(q) {
+			t.Fatal("full admit fraction rejected")
+		}
+	}
+}
+
+func TestQMFDropSetPrefersLowAUR(t *testing.T) {
+	p := New(DefaultConfig())
+	w := smallTrace(t, workload.Low)
+	if _, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), p); err != nil {
+		t.Fatal(err)
+	}
+	// Item 0: heavily accessed per update. Item 1: never accessed.
+	p.upd[0], p.acc[0] = 10, 100
+	p.upd[1], p.acc[1] = 10, 0
+	p.dropFrac = 0.5 // drop half of the two updated items: exactly one
+	p.recomputeDropSet()
+	if p.AdmitUpdate(1) {
+		t.Fatal("lowest-AUR item not dropped")
+	}
+	if !p.AdmitUpdate(0) {
+		t.Fatal("high-AUR item dropped")
+	}
+}
+
+func TestQMFClamps(t *testing.T) {
+	p := New(DefaultConfig())
+	p.admitFrac, p.dropFrac = -5, 7
+	p.clamp()
+	if p.admitFrac != 0.05 || p.dropFrac != 0.95 {
+		t.Fatalf("clamp: %v %v", p.admitFrac, p.dropFrac)
+	}
+	p.admitFrac, p.dropFrac = 7, -1
+	p.clamp()
+	if p.admitFrac != 1 || p.dropFrac != 0 {
+		t.Fatalf("clamp: %v %v", p.admitFrac, p.dropFrac)
+	}
+}
+
+func TestQMFConfigDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.cfg.ControlPeriod != 5 || p.cfg.Step != 0.1 || p.cfg.RecomputeEvery != 1 {
+		t.Fatalf("defaults: %+v", p.cfg)
+	}
+	if p.Name() != "QMF" {
+		t.Fatal("name")
+	}
+	if p.AdmitFraction() != 1 || p.DropFraction() != 0 {
+		t.Fatal("initial knobs")
+	}
+}

@@ -1,0 +1,181 @@
+// Package control implements UNIT's Load Balancing Controller and its
+// Adaptive Allocation Algorithm (paper §3.2, Fig. 2). The controller fires
+// periodically (the grace period) or immediately when the windowed USM
+// drops by more than a threshold — 1% of the USM range — and then acts on
+// the dominant penalty:
+//
+//	rejection cost highest      → Loosen Admission Control
+//	DMF cost highest            → Degrade Updates + Tighten Admission Control
+//	DSF cost highest            → Upgrade Updates
+//
+// With all-zero weights the raw failure ratios stand in for the costs, so
+// the controller still chases the largest failure class to protect the
+// success ratio. Ties break randomly, per the paper.
+package control
+
+import (
+	"fmt"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/stats"
+)
+
+// Action is the control signal set produced by one allocation decision.
+type Action struct {
+	LoosenAC      bool
+	TightenAC     bool
+	DegradeUpdate bool
+	UpgradeUpdate bool
+}
+
+// None reports whether the action carries no signal.
+func (a Action) None() bool {
+	return !a.LoosenAC && !a.TightenAC && !a.DegradeUpdate && !a.UpgradeUpdate
+}
+
+// String renders the signals compactly.
+func (a Action) String() string {
+	if a.None() {
+		return "none"
+	}
+	s := ""
+	if a.LoosenAC {
+		s += "LAC "
+	}
+	if a.TightenAC {
+		s += "TAC "
+	}
+	if a.DegradeUpdate {
+		s += "DU "
+	}
+	if a.UpgradeUpdate {
+		s += "UU "
+	}
+	return s[:len(s)-1]
+}
+
+// LBC is the Load Balancing Controller.
+type LBC struct {
+	weights   usm.Weights
+	rng       *stats.RNG
+	threshold float64 // USM-drop trigger, 1% of the USM range by default
+
+	lastWindowUSM float64
+	primed        bool
+
+	decisions int
+	triggers  int
+}
+
+// Option configures an LBC.
+type Option func(*LBC)
+
+// WithThresholdFraction overrides the drop-trigger fraction of the USM
+// range (default 0.01, the paper's 1%).
+func WithThresholdFraction(f float64) Option {
+	return func(l *LBC) {
+		if f <= 0 || f >= 1 {
+			panic(fmt.Sprintf("control: threshold fraction %v out of (0,1)", f))
+		}
+		l.threshold = f * l.weights.Range()
+	}
+}
+
+// New creates a controller for the given weights. rng breaks cost ties.
+func New(w usm.Weights, rng *stats.RNG, opts ...Option) *LBC {
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	l := &LBC{weights: w, rng: rng, threshold: 0.01 * w.Range()}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Threshold returns the USM-drop trigger threshold.
+func (l *LBC) Threshold() float64 { return l.threshold }
+
+// Stats returns how many windows triggered early and how many decisions
+// were taken in total.
+func (l *LBC) Stats() (decisions, dropTriggers int) { return l.decisions, l.triggers }
+
+// DropTriggered reports whether the new window's USM fell more than the
+// threshold below the previous window's, and remembers the new value.
+// The first window only primes the memory.
+func (l *LBC) DropTriggered(windowUSM float64) bool {
+	if !l.primed {
+		l.primed = true
+		l.lastWindowUSM = windowUSM
+		return false
+	}
+	dropped := windowUSM < l.lastWindowUSM-l.threshold
+	l.lastWindowUSM = windowUSM
+	if dropped {
+		l.triggers++
+	}
+	return dropped
+}
+
+// Decide runs the Adaptive Allocation Algorithm (paper Fig. 2) on the
+// window's outcome counts under the controller's own weights. For
+// heterogeneous preference populations use DecideTally, which carries the
+// per-query weighted costs.
+func (l *LBC) Decide(window usm.Counts) Action {
+	var t usm.Tally
+	t.Counts = window
+	t.Gain = float64(window.Success)
+	t.RCost = l.weights.Cr * float64(window.Rejected)
+	t.FmCost = l.weights.Cfm * float64(window.DMF)
+	t.FsCost = l.weights.Cfs * float64(window.DSF)
+	return l.DecideTally(t)
+}
+
+// DecideTally runs the Adaptive Allocation Algorithm on a weighted tally:
+// the average rejection, DMF and DSF costs are compared directly, so
+// queries with different preference weights contribute their own penalties
+// (the multi-preference extension of paper §3.1). When every cost is zero
+// but failures exist — the naive all-zero-weights setting — the raw
+// failure ratios stand in, per Fig. 2 lines 2–3. A window with no failures
+// yields no action.
+func (l *LBC) DecideTally(window usm.Tally) Action {
+	r, fm, fs := window.AvgCosts()
+	if r == 0 && fm == 0 && fs == 0 {
+		_, rr, rfm, rfs := window.Counts.Ratios()
+		r, fm, fs = rr, rfm, rfs
+	}
+	max := r
+	if fm > max {
+		max = fm
+	}
+	if fs > max {
+		max = fs
+	}
+	if max == 0 {
+		return Action{}
+	}
+	// Collect the argmax set and break ties randomly (paper Fig. 2 line 4).
+	var candidates []int
+	if r == max {
+		candidates = append(candidates, 0)
+	}
+	if fm == max {
+		candidates = append(candidates, 1)
+	}
+	if fs == max {
+		candidates = append(candidates, 2)
+	}
+	pick := candidates[0]
+	if len(candidates) > 1 {
+		pick = candidates[l.rng.Intn(len(candidates))]
+	}
+	l.decisions++
+	switch pick {
+	case 0: // rejection cost dominates
+		return Action{LoosenAC: true}
+	case 1: // DMF cost dominates
+		return Action{DegradeUpdate: true, TightenAC: true}
+	default: // DSF cost dominates
+		return Action{UpgradeUpdate: true}
+	}
+}

@@ -1,0 +1,141 @@
+package control
+
+import (
+	"testing"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/stats"
+)
+
+func newLBC(w usm.Weights) *LBC { return New(w, stats.NewRNG(1)) }
+
+func TestThresholdIsOnePercentOfRange(t *testing.T) {
+	l := newLBC(usm.Weights{Cr: 1, Cfm: 4, Cfs: 2})
+	if got, want := l.Threshold(), 0.01*(1+4); got != want {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+	l2 := New(usm.Weights{}, stats.NewRNG(1), WithThresholdFraction(0.05))
+	if l2.Threshold() != 0.05 {
+		t.Fatalf("custom threshold = %v", l2.Threshold())
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(usm.Weights{Cr: -1}, stats.NewRNG(1)) },
+		func() { New(usm.Weights{}, stats.NewRNG(1), WithThresholdFraction(0)) },
+		func() { New(usm.Weights{}, stats.NewRNG(1), WithThresholdFraction(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDropTriggered(t *testing.T) {
+	l := newLBC(usm.Weights{}) // threshold 0.01
+	if l.DropTriggered(0.9) {
+		t.Fatal("first window must only prime")
+	}
+	if l.DropTriggered(0.895) {
+		t.Fatal("drop below threshold triggered")
+	}
+	if !l.DropTriggered(0.80) {
+		t.Fatal("large drop did not trigger")
+	}
+	// Rising USM never triggers.
+	if l.DropTriggered(0.95) {
+		t.Fatal("rise triggered")
+	}
+	_, trig := l.Stats()
+	if trig != 1 {
+		t.Fatalf("trigger count = %d", trig)
+	}
+}
+
+func TestDecideDominantCostMapping(t *testing.T) {
+	// Fig. 2: R -> Loosen; Fm -> Degrade+Tighten; Fs -> Upgrade.
+	cases := []struct {
+		name   string
+		counts usm.Counts
+		want   Action
+	}{
+		{"rejections dominate", usm.Counts{Success: 5, Rejected: 4, DMF: 1}, Action{LoosenAC: true}},
+		{"DMF dominates", usm.Counts{Success: 5, Rejected: 1, DMF: 4}, Action{DegradeUpdate: true, TightenAC: true}},
+		{"DSF dominates", usm.Counts{Success: 5, DSF: 4, DMF: 1}, Action{UpgradeUpdate: true}},
+	}
+	for _, c := range cases {
+		l := newLBC(usm.Weights{})
+		if got := l.Decide(c.counts); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDecideUsesWeightedCosts(t *testing.T) {
+	// Raw ratios favor DMF (4 vs 1 rejection) but C_r dwarfs C_fm, so the
+	// weighted cost comparison must pick the rejection branch.
+	l := newLBC(usm.Weights{Cr: 10, Cfm: 0.1, Cfs: 0.1})
+	got := l.Decide(usm.Counts{Success: 5, Rejected: 1, DMF: 4})
+	if !got.LoosenAC {
+		t.Fatalf("weighted decision = %v, want LoosenAC", got)
+	}
+}
+
+func TestDecideNaiveUsesRawRatios(t *testing.T) {
+	// All-zero weights: Fig. 2 lines 2-3 fall back to the raw ratios.
+	l := newLBC(usm.Weights{})
+	got := l.Decide(usm.Counts{Success: 1, DSF: 5, DMF: 2, Rejected: 1})
+	if !got.UpgradeUpdate {
+		t.Fatalf("naive decision = %v, want UpgradeUpdate", got)
+	}
+}
+
+func TestDecideNoFailuresNoAction(t *testing.T) {
+	l := newLBC(usm.Weights{Cr: 1, Cfm: 1, Cfs: 1})
+	if got := l.Decide(usm.Counts{Success: 100}); !got.None() {
+		t.Fatalf("all-success window produced %v", got)
+	}
+	if got := l.Decide(usm.Counts{}); !got.None() {
+		t.Fatalf("empty window produced %v", got)
+	}
+}
+
+func TestDecideTieBreaksRandomly(t *testing.T) {
+	// Equal costs for all three: across many decisions every branch should
+	// appear (paper Fig. 2 line 4 breaks ties randomly).
+	l := newLBC(usm.Weights{})
+	counts := usm.Counts{Rejected: 3, DMF: 3, DSF: 3, Success: 1}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[l.Decide(counts).String()] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("tie-break explored only %v", seen)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if (Action{}).String() != "none" {
+		t.Fatal("empty action name")
+	}
+	a := Action{DegradeUpdate: true, TightenAC: true}
+	if a.String() != "TAC DU" {
+		t.Fatalf("action string = %q", a.String())
+	}
+}
+
+func TestDecisionCounter(t *testing.T) {
+	l := newLBC(usm.Weights{})
+	l.Decide(usm.Counts{Rejected: 1})
+	l.Decide(usm.Counts{Success: 1}) // no action: not counted
+	dec, _ := l.Stats()
+	if dec != 1 {
+		t.Fatalf("decisions = %d", dec)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/workload"
+)
+
+// The multi-preference extension (paper §3.1: "our framework can be easily
+// extended to support multiple preferences"): a heterogeneous population
+// where each query carries its own penalty weights.
+
+func mixedTrace(t *testing.T) *workload.Workload {
+	t.Helper()
+	qc := workload.SmallQueryConfig()
+	qc.NumQueries = 3000
+	qc.Duration = 12000
+	qc.PreferenceMix = []workload.PreferenceClass{
+		{Weights: usm.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.2}, Fraction: 0.5}, // latency-sensitive
+		{Weights: usm.Weights{Cr: 0.2, Cfm: 0.2, Cfs: 0.8}, Fraction: 0.5}, // freshness-sensitive
+	}
+	q, err := workload.GenerateQueries(qc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, workload.Uniform), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPreferenceAssignment(t *testing.T) {
+	w := mixedTrace(t)
+	if len(w.Preferences) != 2 {
+		t.Fatalf("classes = %d", len(w.Preferences))
+	}
+	counts := map[int]int{}
+	for _, q := range w.Queries {
+		counts[q.PrefClass]++
+	}
+	if counts[0] < 1000 || counts[1] < 1000 {
+		t.Fatalf("class split = %v, want roughly even", counts)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedPopulationEndToEnd(t *testing.T) {
+	w := mixedTrace(t)
+	p := New(DefaultConfig(usm.Weights{}))
+	e, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerClass) != 2 {
+		t.Fatalf("per-class results = %d", len(r.PerClass))
+	}
+	total := 0
+	for _, c := range r.PerClass {
+		total += c.Counts.Total()
+	}
+	if total != r.Counts.Total() {
+		t.Fatalf("class counts %d != total %d", total, r.Counts.Total())
+	}
+	// The USM reported is the weighted Eq. 2 sum: each class's outcomes
+	// under its own weights, averaged over all queries.
+	want := 0.0
+	n := 0
+	for _, c := range r.PerClass {
+		want += c.ClassUSM * float64(c.Counts.Total())
+		n += c.Counts.Total()
+	}
+	want /= float64(n)
+	if diff := r.USM - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("USM %v != per-class aggregate %v", r.USM, want)
+	}
+}
+
+func TestUniformRunsUnchangedByExtension(t *testing.T) {
+	// A workload without preference classes must behave exactly as before
+	// the extension: PerClass empty, USM = Counts.USM(weights).
+	w := smallTrace(t, workload.Med, workload.Uniform)
+	weights := usm.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.2}
+	p := New(DefaultConfig(weights))
+	e, err := engine.New(engine.NewConfig(w, weights, 7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerClass) != 0 {
+		t.Fatalf("uniform run has %d classes", len(r.PerClass))
+	}
+	if diff := r.USM - r.Counts.USM(weights); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("USM %v != counts USM %v", r.USM, r.Counts.USM(weights))
+	}
+}
+
+func TestMixedPopulationServesBothClasses(t *testing.T) {
+	// UNIT run on the mixed population: both classes must see substantial
+	// successes, and the latency-sensitive class must not be starved of
+	// deadline protection (its DMF ratio should not dwarf the other's).
+	w := mixedTrace(t)
+	p := New(DefaultConfig(usm.Weights{}))
+	e, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range r.PerClass {
+		if c.Counts.Success == 0 {
+			t.Fatalf("class %d starved: %+v", i, c.Counts)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package usm
+
+import (
+	"fmt"
+
+	"unitdb/internal/txn"
+)
+
+// The paper evaluates a single user-preference vector and notes (§3.1)
+// that "our framework can be easily extended to support multiple
+// preferences". This file is that extension: queries carry a preference
+// class, each class has its own penalty weights, and the satisfaction
+// metric aggregates the per-query gains and penalties exactly as Eq. 2
+// prescribes — USM_total is a sum over queries, so heterogeneous weights
+// drop in without changing the metric's structure.
+
+// Tally accumulates the weighted components of Eq. 4 across queries with
+// possibly different weights: the success gain and the three penalty sums.
+type Tally struct {
+	Counts Counts
+	Gain   float64 // Σ G_s over successes (G_s = 1 each)
+	RCost  float64 // Σ C_r over rejections
+	FmCost float64 // Σ C_fm over deadline misses
+	FsCost float64 // Σ C_fs over stale reads
+}
+
+// Record tallies one outcome under the given weights.
+func (t *Tally) Record(o txn.Outcome, w Weights) {
+	t.Counts.Record(o)
+	switch o {
+	case txn.OutcomeSuccess:
+		t.Gain++
+	case txn.OutcomeRejected:
+		t.RCost += w.Cr
+	case txn.OutcomeDMF:
+		t.FmCost += w.Cfm
+	case txn.OutcomeDSF:
+		t.FsCost += w.Cfs
+	}
+}
+
+// Add accumulates other into t.
+func (t *Tally) Add(other Tally) {
+	t.Counts.Add(other.Counts)
+	t.Gain += other.Gain
+	t.RCost += other.RCost
+	t.FmCost += other.FmCost
+	t.FsCost += other.FsCost
+}
+
+// USM evaluates Eq. 5 over the tally: (gain − penalties) / submitted.
+func (t Tally) USM() float64 {
+	n := t.Counts.Total()
+	if n == 0 {
+		return 0
+	}
+	return (t.Gain - t.RCost - t.FmCost - t.FsCost) / float64(n)
+}
+
+// AvgCosts returns the average rejection, DMF and DSF costs (R, F_m, F_s
+// of Eq. 5) — the quantities the Adaptive Allocation Algorithm compares.
+func (t Tally) AvgCosts() (r, fm, fs float64) {
+	n := t.Counts.Total()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	f := float64(n)
+	return t.RCost / f, t.FmCost / f, t.FsCost / f
+}
+
+// ClassAccountant tracks outcomes for a population with multiple
+// preference classes: cumulative and windowed weighted tallies plus
+// per-class outcome counts.
+type ClassAccountant struct {
+	classes []Weights
+	def     Weights
+
+	total    Tally
+	window   Tally
+	perClass []Counts
+}
+
+// NewClassAccountant creates an accountant with the given preference
+// classes; class -1 (or an empty class list) uses the default weights.
+func NewClassAccountant(def Weights, classes []Weights) *ClassAccountant {
+	if err := def.Validate(); err != nil {
+		panic(err)
+	}
+	for i, w := range classes {
+		if err := w.Validate(); err != nil {
+			panic(fmt.Sprintf("usm: class %d: %v", i, err))
+		}
+	}
+	return &ClassAccountant{
+		classes:  classes,
+		def:      def,
+		perClass: make([]Counts, len(classes)),
+	}
+}
+
+// WeightsFor resolves a class index to its weights; out-of-range indices
+// (including the conventional -1) fall back to the default.
+func (a *ClassAccountant) WeightsFor(class int) Weights {
+	if class >= 0 && class < len(a.classes) {
+		return a.classes[class]
+	}
+	return a.def
+}
+
+// Record tallies one outcome for a query of the given class.
+func (a *ClassAccountant) Record(o txn.Outcome, class int) {
+	w := a.WeightsFor(class)
+	a.total.Record(o, w)
+	a.window.Record(o, w)
+	if class >= 0 && class < len(a.perClass) {
+		a.perClass[class].Record(o)
+	}
+}
+
+// Total returns the cumulative weighted tally.
+func (a *ClassAccountant) Total() Tally { return a.total }
+
+// Rollover returns the window tally and starts a new window.
+func (a *ClassAccountant) Rollover() Tally {
+	w := a.window
+	a.window = Tally{}
+	return w
+}
+
+// PerClass returns a copy of the per-class outcome counts.
+func (a *ClassAccountant) PerClass() []Counts {
+	out := make([]Counts, len(a.perClass))
+	copy(out, a.perClass)
+	return out
+}
+
+// Classes returns the class weight vectors.
+func (a *ClassAccountant) Classes() []Weights {
+	out := make([]Weights, len(a.classes))
+	copy(out, a.classes)
+	return out
+}

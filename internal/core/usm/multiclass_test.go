@@ -1,0 +1,139 @@
+package usm
+
+import (
+	"math"
+	"testing"
+
+	"unitdb/internal/txn"
+)
+
+func TestTallyRecord(t *testing.T) {
+	var tl Tally
+	w := Weights{Cr: 0.5, Cfm: 1, Cfs: 2}
+	tl.Record(txn.OutcomeSuccess, w)
+	tl.Record(txn.OutcomeRejected, w)
+	tl.Record(txn.OutcomeDMF, w)
+	tl.Record(txn.OutcomeDSF, w)
+	if tl.Gain != 1 || tl.RCost != 0.5 || tl.FmCost != 1 || tl.FsCost != 2 {
+		t.Fatalf("tally = %+v", tl)
+	}
+	// USM = (1 - 0.5 - 1 - 2)/4
+	if got := tl.USM(); math.Abs(got-(-2.5/4)) > 1e-12 {
+		t.Fatalf("USM = %v", got)
+	}
+	r, fm, fs := tl.AvgCosts()
+	if r != 0.125 || fm != 0.25 || fs != 0.5 {
+		t.Fatalf("avg costs = %v %v %v", r, fm, fs)
+	}
+}
+
+func TestTallyMatchesCountsUSMForUniformWeights(t *testing.T) {
+	// With one weight vector, Tally.USM must equal Counts.USM — the
+	// uniform experiments are unchanged by the multi-class extension.
+	w := Weights{Cr: 0.3, Cfm: 0.9, Cfs: 0.1}
+	var tl Tally
+	var c Counts
+	outcomes := []txn.Outcome{
+		txn.OutcomeSuccess, txn.OutcomeSuccess, txn.OutcomeDMF,
+		txn.OutcomeRejected, txn.OutcomeDSF, txn.OutcomeSuccess,
+	}
+	for _, o := range outcomes {
+		tl.Record(o, w)
+		c.Record(o)
+	}
+	if math.Abs(tl.USM()-c.USM(w)) > 1e-12 {
+		t.Fatalf("tally %v vs counts %v", tl.USM(), c.USM(w))
+	}
+}
+
+func TestTallyAdd(t *testing.T) {
+	w := Weights{Cr: 1}
+	var a, b Tally
+	a.Record(txn.OutcomeSuccess, w)
+	b.Record(txn.OutcomeRejected, w)
+	a.Add(b)
+	if a.Counts.Total() != 2 || a.Gain != 1 || a.RCost != 1 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestEmptyTally(t *testing.T) {
+	var tl Tally
+	if tl.USM() != 0 {
+		t.Fatal("empty tally USM")
+	}
+	r, fm, fs := tl.AvgCosts()
+	if r != 0 || fm != 0 || fs != 0 {
+		t.Fatal("empty tally costs")
+	}
+}
+
+func TestClassAccountant(t *testing.T) {
+	classes := []Weights{
+		{Cr: 0.2, Cfm: 0.8, Cfs: 0.2}, // latency-sensitive
+		{Cr: 0.2, Cfm: 0.2, Cfs: 0.8}, // freshness-sensitive
+	}
+	a := NewClassAccountant(Weights{}, classes)
+	a.Record(txn.OutcomeDMF, 0) // costs 0.8
+	a.Record(txn.OutcomeDMF, 1) // costs 0.2
+	a.Record(txn.OutcomeSuccess, 1)
+	a.Record(txn.OutcomeDSF, -1) // default class: zero weights
+
+	total := a.Total()
+	if total.Counts.Total() != 4 {
+		t.Fatalf("total = %+v", total.Counts)
+	}
+	if math.Abs(total.FmCost-1.0) > 1e-12 {
+		t.Fatalf("FmCost = %v, want 0.8+0.2", total.FmCost)
+	}
+	if total.FsCost != 0 {
+		t.Fatalf("default-class DSF charged %v", total.FsCost)
+	}
+	per := a.PerClass()
+	if per[0].DMF != 1 || per[1].DMF != 1 || per[1].Success != 1 {
+		t.Fatalf("per-class = %+v", per)
+	}
+	// Window rollover.
+	win := a.Rollover()
+	if win.Counts.Total() != 4 {
+		t.Fatal("window")
+	}
+	if a.Rollover().Counts.Total() != 0 {
+		t.Fatal("rollover did not reset")
+	}
+	if a.Total().Counts.Total() != 4 {
+		t.Fatal("total lost")
+	}
+}
+
+func TestClassAccountantWeightsFor(t *testing.T) {
+	def := Weights{Cr: 9}
+	a := NewClassAccountant(def, []Weights{{Cfm: 3}})
+	if a.WeightsFor(0).Cfm != 3 {
+		t.Fatal("class 0")
+	}
+	for _, c := range []int{-1, 1, 99} {
+		if a.WeightsFor(c) != def {
+			t.Fatalf("class %d did not fall back to default", c)
+		}
+	}
+	if len(a.Classes()) != 1 {
+		t.Fatal("Classes")
+	}
+}
+
+func TestClassAccountantValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewClassAccountant(Weights{Cr: -1}, nil) },
+		func() { NewClassAccountant(Weights{}, []Weights{{Cfm: -1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid accountant accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,645 @@
+// Package engine is the web-database server simulator: a single preemptive
+// CPU fed by the dual-priority EDF ready queue (updates above queries,
+// paper §3.1), 2PL-HP concurrency control, firm query deadlines (late
+// queries are aborted wherever they are), periodic update feeds with
+// supersede semantics (a newer full-value refresh replaces a stale queued
+// one), and policy hooks through which UNIT and the baseline algorithms
+// steer admission and update execution.
+package engine
+
+import (
+	"fmt"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/datastore"
+	"unitdb/internal/eventsim"
+	"unitdb/internal/lockmgr"
+	"unitdb/internal/readyq"
+	"unitdb/internal/stats"
+	"unitdb/internal/txn"
+	"unitdb/internal/workload"
+)
+
+// Policy is the decision surface of a transaction-management algorithm.
+// The engine is the mechanism; UNIT, IMU, ODU and QMF are policies.
+type Policy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Attach binds the policy to an engine before the run starts.
+	Attach(e *Engine)
+	// AdmitQuery decides whether to accept an arriving user query.
+	AdmitQuery(q *txn.Txn) bool
+	// AdmitUpdate decides whether an arriving source update for item is
+	// executed (true) or dropped (false).
+	AdmitUpdate(item int) bool
+	// OnSourceUpdate observes every source update arrival (applied or
+	// dropped), before AdmitUpdate decides its fate.
+	OnSourceUpdate(item int, exec float64)
+	// BeforeQueryDispatch runs when a query is about to start executing.
+	// Returning false postpones the query (the policy has enqueued
+	// prerequisite work, e.g. ODU's on-demand refreshes).
+	BeforeQueryDispatch(q *txn.Txn) bool
+	// OnQueryDone observes a finalized query outcome.
+	OnQueryDone(q *txn.Txn)
+	// OnUpdateApplied observes an update commit.
+	OnUpdateApplied(u *txn.Txn)
+	// ControlPeriod returns the feedback-control tick period; zero or
+	// negative disables ticks.
+	ControlPeriod() float64
+	// OnControlTick runs once per control period.
+	OnControlTick()
+}
+
+// Base is a Policy with no-op hooks, for embedding.
+type Base struct{}
+
+// Attach implements Policy.
+func (Base) Attach(*Engine) {}
+
+// AdmitQuery implements Policy: always admit.
+func (Base) AdmitQuery(*txn.Txn) bool { return true }
+
+// AdmitUpdate implements Policy: always execute.
+func (Base) AdmitUpdate(int) bool { return true }
+
+// OnSourceUpdate implements Policy.
+func (Base) OnSourceUpdate(int, float64) {}
+
+// BeforeQueryDispatch implements Policy: never postpone.
+func (Base) BeforeQueryDispatch(*txn.Txn) bool { return true }
+
+// OnQueryDone implements Policy.
+func (Base) OnQueryDone(*txn.Txn) {}
+
+// OnUpdateApplied implements Policy.
+func (Base) OnUpdateApplied(*txn.Txn) {}
+
+// ControlPeriod implements Policy: no control loop.
+func (Base) ControlPeriod() float64 { return 0 }
+
+// OnControlTick implements Policy.
+func (Base) OnControlTick() {}
+
+// Config parameterizes a run.
+type Config struct {
+	Workload *workload.Workload
+	Weights  usm.Weights
+	Seed     uint64
+	// PhaseUpdates randomizes the first arrival of each update feed within
+	// one period, avoiding synchronized update storms (default true via
+	// NewConfig; zero value means aligned starts).
+	PhaseUpdates bool
+}
+
+// NewConfig returns a config with the recommended defaults.
+func NewConfig(w *workload.Workload, weights usm.Weights, seed uint64) Config {
+	return Config{Workload: w, Weights: weights, Seed: seed, PhaseUpdates: true}
+}
+
+// Engine runs one simulation.
+type Engine struct {
+	cfg    Config
+	sim    *eventsim.Sim
+	store  *datastore.Store
+	locks  *lockmgr.Manager
+	ready  *readyq.Queue
+	acct   *usm.ClassAccountant
+	policy Policy
+	rng    *stats.RNG
+
+	running  *txn.Txn
+	runEvent *eventsim.Event
+	runStart float64
+
+	deadlineEvents map[*txn.Txn]*eventsim.Event
+	pendingUpdate  map[int]*txn.Txn // latest enqueued-but-unapplied update per item
+	feedExec       map[int]float64  // update execution time per item (for refreshes)
+	nextID         int64
+
+	busyQuery  float64
+	busyUpdate float64
+
+	preemptions       int
+	restarts          int
+	updatesApplied    int
+	updatesDropped    int
+	updatesSuperseded int
+	refreshesIssued   int
+
+	freshSum   float64
+	latencySum float64
+	committed  int
+
+	finished bool
+}
+
+// New builds an engine for one run. It validates the workload and weights.
+func New(cfg Config, policy Policy) (*Engine, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("engine: nil workload")
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Weights.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:            cfg,
+		sim:            eventsim.New(),
+		store:          datastore.New(cfg.Workload.NumItems),
+		locks:          lockmgr.New(),
+		ready:          readyq.New(),
+		acct:           usm.NewClassAccountant(cfg.Weights, cfg.Workload.Preferences),
+		policy:         policy,
+		rng:            stats.NewRNG(cfg.Seed),
+		deadlineEvents: make(map[*txn.Txn]*eventsim.Event),
+		pendingUpdate:  make(map[int]*txn.Txn),
+		feedExec:       make(map[int]float64),
+	}
+	for _, u := range cfg.Workload.Updates {
+		e.feedExec[u.Item] = u.Exec
+	}
+	policy.Attach(e)
+	return e, nil
+}
+
+// --- accessors used by policies and admission control ---
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.sim.Now() }
+
+// Store returns the datastore.
+func (e *Engine) Store() *datastore.Store { return e.store }
+
+// Accountant returns the USM accountant (per-preference-class aware).
+func (e *Engine) Accountant() *usm.ClassAccountant { return e.acct }
+
+// WeightsFor resolves a transaction's effective USM weights: its
+// preference class's weights when the workload defines classes, the run's
+// system-wide weights otherwise.
+func (e *Engine) WeightsFor(t *txn.Txn) usm.Weights {
+	return e.acct.WeightsFor(t.PrefClass)
+}
+
+// Workload returns the run's workload.
+func (e *Engine) Workload() *workload.Workload { return e.cfg.Workload }
+
+// RunningRemaining implements admission.QueueView.
+func (e *Engine) RunningRemaining() float64 {
+	if e.running == nil {
+		return 0
+	}
+	return e.runEvent.Time() - e.sim.Now()
+}
+
+// UpdateBacklog implements admission.QueueView.
+func (e *Engine) UpdateBacklog() float64 { return e.ready.UpdateBacklog() }
+
+// QueuedQueries implements admission.QueueView.
+func (e *Engine) QueuedQueries() []*txn.Txn { return e.ready.Queries() }
+
+// BusyTime returns the cumulative CPU time consumed so far by queries and
+// by updates. Feedback controllers difference it across windows to measure
+// utilization.
+func (e *Engine) BusyTime() (query, update float64) {
+	q, u := e.busyQuery, e.busyUpdate
+	if e.running != nil {
+		// Attribute the in-progress slice of the running transaction.
+		elapsed := e.sim.Now() - e.runStart
+		if e.running.Class == txn.ClassUpdate {
+			u += elapsed
+		} else {
+			q += elapsed
+		}
+	}
+	return q, u
+}
+
+// PendingUpdateFor returns the enqueued-but-unapplied update transaction
+// for item, or nil.
+func (e *Engine) PendingUpdateFor(item int) *txn.Txn { return e.pendingUpdate[item] }
+
+// FeedExec returns the update execution time of item's feed; ok is false
+// when the item has no update feed.
+func (e *Engine) FeedExec(item int) (float64, bool) {
+	v, ok := e.feedExec[item]
+	return v, ok
+}
+
+// EnqueueRefresh creates and enqueues an on-demand update transaction for
+// item with the given execution time and EDF deadline (ODU's mechanism).
+func (e *Engine) EnqueueRefresh(item int, exec, deadline float64) *txn.Txn {
+	e.nextID++
+	u := txn.NewUpdate(e.nextID, e.sim.Now(), item, exec, deadline)
+	e.pendingUpdate[item] = u
+	e.ready.Push(u)
+	e.refreshesIssued++
+	return u
+}
+
+// --- run ---
+
+// Run executes the whole workload and returns the results. It can only be
+// called once per engine.
+func (e *Engine) Run() (*Results, error) {
+	if e.finished {
+		return nil, fmt.Errorf("engine: Run called twice")
+	}
+	e.finished = true
+	w := e.cfg.Workload
+	if len(w.Queries) > 0 {
+		first := w.Queries[0].Arrival
+		e.sim.At(first, func() { e.queryArrival(0) })
+	}
+	phaseRNG := e.rng.Split()
+	for i := range w.Updates {
+		spec := w.Updates[i]
+		start := spec.Period
+		if e.cfg.PhaseUpdates {
+			start = spec.Period * phaseRNG.Float64()
+		}
+		if start <= w.Duration {
+			e.sim.At(start, func() { e.updateArrival(spec) })
+		}
+	}
+	if p := e.policy.ControlPeriod(); p > 0 {
+		e.sim.At(p, func() { e.controlTick(p) })
+	}
+	// Run the scheduled horizon, then drain in-flight work (no new
+	// arrivals are scheduled past the duration).
+	e.sim.Run(w.Duration)
+	e.sim.RunAll()
+	return e.results(), nil
+}
+
+func (e *Engine) controlTick(period float64) {
+	e.policy.OnControlTick()
+	next := e.sim.Now() + period
+	if next <= e.cfg.Workload.Duration {
+		e.sim.At(next, func() { e.controlTick(period) })
+	}
+}
+
+// --- arrivals ---
+
+func (e *Engine) queryArrival(idx int) {
+	w := e.cfg.Workload
+	spec := w.Queries[idx]
+	if idx+1 < len(w.Queries) {
+		e.sim.At(w.Queries[idx+1].Arrival, func() { e.queryArrival(idx + 1) })
+	}
+	e.nextID++
+	q := txn.NewQuery(e.nextID, e.sim.Now(), spec.Items, spec.Exec, spec.RelDeadline, spec.FreshReq)
+	q.EstExec = spec.EstExec
+	q.PrefClass = spec.PrefClass
+	if !e.policy.AdmitQuery(q) {
+		e.finalizeQuery(q, txn.OutcomeRejected)
+		return
+	}
+	e.deadlineEvents[q] = e.sim.At(q.Deadline, func() { e.queryDeadline(q) })
+	e.ready.Push(q)
+	e.dispatch()
+}
+
+func (e *Engine) updateArrival(spec workload.UpdateSpec) {
+	now := e.sim.Now()
+	if next := now + spec.Period; next <= e.cfg.Workload.Duration {
+		e.sim.At(next, func() { e.updateArrival(spec) })
+	}
+	e.policy.OnSourceUpdate(spec.Item, spec.Exec)
+	if !e.policy.AdmitUpdate(spec.Item) {
+		e.store.DropUpdate(spec.Item)
+		e.updatesDropped++
+		return
+	}
+	// Supersede a stale enqueued (or lock-blocked) update for the same
+	// item: a periodic feed is full-value, so only the newest matters.
+	if old := e.pendingUpdate[spec.Item]; old != nil && old != e.running {
+		if !e.ready.Remove(old) {
+			// Blocked on a lock: withdraw it, waking whoever it unblocks.
+			res := e.locks.ReleaseAll(old)
+			e.absorbLockResult(res, nil)
+		}
+		e.store.DropUpdate(spec.Item)
+		e.updatesSuperseded++
+		e.updatesDropped++
+		delete(e.pendingUpdate, spec.Item)
+	}
+	e.nextID++
+	u := txn.NewUpdate(e.nextID, now, spec.Item, spec.Exec, now+spec.Period)
+	e.pendingUpdate[spec.Item] = u
+	e.ready.Push(u)
+	e.dispatch()
+}
+
+// --- dispatching ---
+
+// dispatch advances the CPU: it preempts when something outranks the
+// running transaction and starts the highest-priority runnable one,
+// resolving locks on the way. Queries postponed by the policy are parked
+// for this pass so prerequisite updates can overtake them.
+func (e *Engine) dispatch() {
+	var postponed []*txn.Txn
+	defer func() {
+		for _, q := range postponed {
+			// While parked here the query can re-enter the queue through an
+			// HP-abort restart, or be finalized by its deadline — only put
+			// back what is still pending and outside the queue.
+			if q.Outcome == txn.OutcomePending && !e.ready.Contains(q) && q != e.running {
+				e.ready.Push(q)
+			}
+		}
+	}()
+	for {
+		next := e.ready.Peek()
+		if next == nil {
+			return
+		}
+		if e.running != nil {
+			if !next.HigherPriority(e.running) {
+				return
+			}
+			e.preempt()
+		}
+		t := e.ready.Pop()
+		if t.Class == txn.ClassQuery && !e.policy.BeforeQueryDispatch(t) {
+			postponed = append(postponed, t)
+			continue
+		}
+		res := e.locks.AcquireAll(t)
+		e.absorbLockResult(res, t)
+		if res.Granted {
+			e.start(t)
+		}
+		// Not granted: t is parked as a lock waiter; pick the next one.
+	}
+}
+
+// absorbLockResult restarts or kills HP-abort victims and requeues
+// transactions whose lock waits completed. self is the transaction whose
+// operation produced the result (never requeued here), or nil.
+func (e *Engine) absorbLockResult(res lockmgr.Result, self *txn.Txn) {
+	for _, v := range res.Aborted {
+		e.handleAbort(v)
+	}
+	for _, u := range res.Unblocked {
+		if u != self && !e.ready.Contains(u) {
+			e.ready.Push(u)
+		}
+	}
+}
+
+// handleAbort processes a 2PL-HP victim: its locks are already gone; put it
+// back in contention (restart) when that still makes sense, otherwise
+// finalize it.
+func (e *Engine) handleAbort(v *txn.Txn) {
+	now := e.sim.Now()
+	if v == e.running {
+		// Defensive: dispatch preempts before lock requests, so the
+		// running transaction should never be a victim.
+		e.stopRunningClock()
+	} else {
+		e.ready.Remove(v) // no-op when v was lock-blocked
+	}
+	switch v.Class {
+	case txn.ClassUpdate:
+		if e.pendingUpdate[v.Item()] == v {
+			v.ResetForRestart()
+			e.restarts++
+			e.ready.Push(v)
+		}
+		// Otherwise a newer update superseded it while it waited: discard
+		// (the supersede already accounted the drop).
+	default:
+		if now+v.Exec >= v.Deadline {
+			// It cannot finish even if it restarts immediately.
+			e.finalizeQuery(v, txn.OutcomeDMF)
+			return
+		}
+		v.ResetForRestart()
+		e.restarts++
+		e.ready.Push(v)
+	}
+}
+
+func (e *Engine) start(t *txn.Txn) {
+	if t.Class == txn.ClassQuery && !t.ReadSampled() {
+		// The query reads its items as it begins executing; the DSF check
+		// at commit judges the freshness of what was actually read. The
+		// S locks held from here guarantee no conflicting update commits
+		// underneath the sample.
+		t.ReadFreshness = e.store.QueryFreshness(t.Items)
+		t.MarkReadSampled()
+	}
+	e.running = t
+	e.runStart = e.sim.Now()
+	e.runEvent = e.sim.At(e.runStart+t.Remaining, func() { e.complete(t) })
+}
+
+func (e *Engine) preempt() {
+	t := e.running
+	e.stopRunningClock()
+	e.preemptions++
+	e.ready.Push(t) // keeps its locks; will resume with Remaining left
+}
+
+// stopRunningClock halts the running transaction's service, accounting the
+// CPU it consumed, and leaves the CPU free.
+func (e *Engine) stopRunningClock() {
+	t := e.running
+	if t == nil {
+		return
+	}
+	elapsed := e.sim.Now() - e.runStart
+	t.Remaining -= elapsed
+	if t.Remaining < 0 {
+		t.Remaining = 0
+	}
+	e.accountBusy(t.Class, elapsed)
+	e.sim.Cancel(e.runEvent)
+	e.running = nil
+	e.runEvent = nil
+}
+
+func (e *Engine) accountBusy(c txn.Class, dt float64) {
+	if c == txn.ClassUpdate {
+		e.busyUpdate += dt
+	} else {
+		e.busyQuery += dt
+	}
+}
+
+// --- completion and deadlines ---
+
+func (e *Engine) complete(t *txn.Txn) {
+	elapsed := e.sim.Now() - e.runStart
+	e.accountBusy(t.Class, elapsed)
+	t.Remaining = 0
+	e.running = nil
+	e.runEvent = nil
+
+	if t.Class == txn.ClassUpdate {
+		item := t.Item()
+		e.store.ApplyUpdate(item, e.sim.Now(), e.sim.Now())
+		e.updatesApplied++
+		if e.pendingUpdate[item] == t {
+			delete(e.pendingUpdate, item)
+		}
+		e.policy.OnUpdateApplied(t)
+		res := e.locks.ReleaseAll(t)
+		e.absorbLockResult(res, t)
+		e.dispatch()
+		return
+	}
+
+	// Query commit: the freshness of what the query read (sampled at the
+	// start of its last attempt) against its requirement (Eq. 1).
+	fresh := t.ReadFreshness
+	for _, item := range t.Items {
+		e.store.RecordAccess(item)
+	}
+	e.freshSum += fresh
+	e.latencySum += e.sim.Now() - t.Arrival
+	e.committed++
+	res := e.locks.ReleaseAll(t)
+	e.absorbLockResult(res, t)
+	outcome := txn.OutcomeSuccess
+	if fresh < t.FreshReq {
+		outcome = txn.OutcomeDSF
+	}
+	e.finalizeQuery(t, outcome)
+	e.dispatch()
+}
+
+func (e *Engine) queryDeadline(q *txn.Txn) {
+	if q.Outcome != txn.OutcomePending {
+		return
+	}
+	delete(e.deadlineEvents, q)
+	if q == e.running {
+		e.stopRunningClock()
+	} else {
+		e.ready.Remove(q) // no-op when lock-blocked
+	}
+	res := e.locks.ReleaseAll(q)
+	e.absorbLockResult(res, q)
+	e.finalizeQuery(q, txn.OutcomeDMF)
+	e.dispatch()
+}
+
+func (e *Engine) finalizeQuery(q *txn.Txn, o txn.Outcome) {
+	if q.Outcome != txn.OutcomePending {
+		panic(fmt.Sprintf("engine: double finalize of %v", q))
+	}
+	q.Outcome = o
+	if ev, ok := e.deadlineEvents[q]; ok {
+		e.sim.Cancel(ev)
+		delete(e.deadlineEvents, q)
+	}
+	e.acct.Record(o, q.PrefClass)
+	e.policy.OnQueryDone(q)
+}
+
+// --- results ---
+
+// Results summarizes one run.
+type Results struct {
+	Policy   string
+	Trace    string
+	Weights  usm.Weights
+	Counts   usm.Counts
+	USM      float64
+	Duration float64
+
+	SuccessRatio   float64
+	RejectionRatio float64
+	DMFRatio       float64
+	DSFRatio       float64
+
+	AvgFreshness float64 // over committed queries
+	AvgLatency   float64 // over committed queries
+
+	UpdatesApplied    int
+	UpdatesDropped    int
+	UpdatesSuperseded int
+	RefreshesIssued   int
+
+	HPAborts    int
+	Preemptions int
+	Restarts    int
+
+	CPUUtilization float64
+	QueryCPU       float64
+	UpdateCPU      float64
+
+	AccessCounts  []int
+	AppliedCounts []int
+	DroppedCounts []int
+
+	// PerClass breaks the outcomes down by user-preference class (empty
+	// for uniform-preference runs). ClassUSM applies each class's own
+	// weights to its own outcomes.
+	PerClass []ClassResult
+
+	Events int64
+}
+
+// ClassResult is one preference class's slice of the outcomes.
+type ClassResult struct {
+	Weights  usm.Weights
+	Counts   usm.Counts
+	ClassUSM float64
+}
+
+func (e *Engine) results() *Results {
+	tally := e.acct.Total()
+	counts := tally.Counts
+	rs, rr, rfm, rfs := counts.Ratios()
+	r := &Results{
+		Policy:            e.policy.Name(),
+		Trace:             e.cfg.Workload.Name,
+		Weights:           e.cfg.Weights,
+		Counts:            counts,
+		USM:               tally.USM(),
+		Duration:          e.cfg.Workload.Duration,
+		SuccessRatio:      rs,
+		RejectionRatio:    rr,
+		DMFRatio:          rfm,
+		DSFRatio:          rfs,
+		UpdatesApplied:    e.updatesApplied,
+		UpdatesDropped:    e.updatesDropped,
+		UpdatesSuperseded: e.updatesSuperseded,
+		RefreshesIssued:   e.refreshesIssued,
+		HPAborts:          e.locks.HPAborts(),
+		Preemptions:       e.preemptions,
+		Restarts:          e.restarts,
+		CPUUtilization:    (e.busyQuery + e.busyUpdate) / e.cfg.Workload.Duration,
+		QueryCPU:          e.busyQuery / e.cfg.Workload.Duration,
+		UpdateCPU:         e.busyUpdate / e.cfg.Workload.Duration,
+		AccessCounts:      e.store.AccessCounts(),
+		AppliedCounts:     e.store.AppliedCounts(),
+		DroppedCounts:     e.store.DroppedCounts(),
+		Events:            e.sim.Fired(),
+	}
+	if e.committed > 0 {
+		r.AvgFreshness = e.freshSum / float64(e.committed)
+		r.AvgLatency = e.latencySum / float64(e.committed)
+	}
+	classes := e.acct.Classes()
+	perClass := e.acct.PerClass()
+	for i := range classes {
+		r.PerClass = append(r.PerClass, ClassResult{
+			Weights:  classes[i],
+			Counts:   perClass[i],
+			ClassUSM: perClass[i].USM(classes[i]),
+		})
+	}
+	return r
+}
+
+// String renders the headline numbers of a result.
+func (r *Results) String() string {
+	return fmt.Sprintf("%s on %s: USM=%.4f success=%.3f rej=%.3f dmf=%.3f dsf=%.3f (n=%d)",
+		r.Policy, r.Trace, r.USM, r.SuccessRatio, r.RejectionRatio, r.DMFRatio, r.DSFRatio, r.Counts.Total())
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/stats"
+	"unitdb/internal/txn"
+	"unitdb/internal/workload"
+)
+
+// randomWorkload builds a small random but valid workload.
+func randomWorkload(rng *stats.RNG) *workload.Workload {
+	items := 2 + rng.Intn(8)
+	duration := 50 + rng.Float64()*150
+	w := &workload.Workload{
+		Name:         "prop",
+		NumItems:     items,
+		Duration:     duration,
+		QueryCounts:  make([]int, items),
+		UpdateCounts: make([]int, items),
+	}
+	nq := rng.Intn(60)
+	arr := 0.0
+	for i := 0; i < nq; i++ {
+		arr += rng.Exp(duration / float64(nq+1))
+		if arr >= duration {
+			break
+		}
+		item := rng.Intn(items)
+		w.Queries = append(w.Queries, workload.QuerySpec{
+			Arrival:     arr,
+			Items:       []int{item},
+			Exec:        0.05 + rng.Float64()*3,
+			EstExec:     0.05 + rng.Float64()*3,
+			RelDeadline: 0.1 + rng.Float64()*20,
+			FreshReq:    0.5 + rng.Float64()*0.5,
+		})
+		w.QueryCounts[item]++
+	}
+	nfeeds := rng.Intn(items)
+	for item := 0; item < nfeeds; item++ {
+		w.Updates = append(w.Updates, workload.UpdateSpec{
+			Item:   item,
+			Period: 1 + rng.Float64()*20,
+			Exec:   0.05 + rng.Float64()*4,
+		})
+	}
+	return w
+}
+
+// chaosPolicy makes random admission and drop decisions — an adversarial
+// policy exercising every engine path.
+type chaosPolicy struct {
+	Base
+	e   *Engine
+	rng *stats.RNG
+}
+
+func (p *chaosPolicy) Name() string             { return "chaos" }
+func (p *chaosPolicy) Attach(e *Engine)         { p.e = e }
+func (p *chaosPolicy) AdmitQuery(*txn.Txn) bool { return p.rng.Float64() < 0.8 }
+func (p *chaosPolicy) AdmitUpdate(int) bool     { return p.rng.Float64() < 0.6 }
+func (p *chaosPolicy) BeforeQueryDispatch(q *txn.Txn) bool {
+	// Occasionally postpone with an on-demand refresh, like ODU.
+	if p.rng.Float64() < 0.3 {
+		for _, item := range q.Items {
+			if p.e.Store().Drops(item) > 0 && p.e.PendingUpdateFor(item) == nil {
+				if exec, ok := p.e.FeedExec(item); ok {
+					p.e.EnqueueRefresh(item, exec, q.Deadline)
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+func (p *chaosPolicy) ControlPeriod() float64 { return 2 }
+func (p *chaosPolicy) OnControlTick()         {}
+
+// TestEngineInvariantsUnderChaos runs random workloads under an adversarial
+// policy and checks the engine's global invariants: outcome conservation,
+// freshness bounds, non-negative counters, bounded CPU accounting, and
+// update-arrival conservation.
+func TestEngineInvariantsUnderChaos(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		w := randomWorkload(rng)
+		if err := w.Validate(); err != nil {
+			t.Logf("generator bug: %v", err)
+			return false
+		}
+		cfg := NewConfig(w, usm.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.2}, seed)
+		e, err := New(cfg, &chaosPolicy{rng: rng.Split()})
+		if err != nil {
+			t.Logf("engine: %v", err)
+			return false
+		}
+		r, err := e.Run()
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if r.Counts.Total() != len(w.Queries) {
+			t.Logf("outcomes %d != submitted %d", r.Counts.Total(), len(w.Queries))
+			return false
+		}
+		if r.AvgFreshness < 0 || r.AvgFreshness > 1 {
+			t.Logf("freshness %v", r.AvgFreshness)
+			return false
+		}
+		if r.USM < -0.8-1e-9 || r.USM > 1+1e-9 {
+			t.Logf("USM %v outside range", r.USM)
+			return false
+		}
+		if r.UpdatesApplied < 0 || r.UpdatesDropped < 0 || r.Restarts < 0 {
+			return false
+		}
+		// Source arrivals are conserved: each is applied, dropped, or still
+		// in flight at the drain (refreshes can add applied updates, and a
+		// randomized feed phase can fit one extra arrival per feed beyond
+		// duration/period).
+		arrivals := w.TotalSourceUpdates() + len(w.Updates)
+		if r.UpdatesApplied+r.UpdatesDropped > arrivals+r.RefreshesIssued {
+			t.Logf("update outcomes %d exceed arrivals %d + refreshes %d",
+				r.UpdatesApplied+r.UpdatesDropped, arrivals, r.RefreshesIssued)
+			return false
+		}
+		// CPU accounting cannot exceed the drained horizon.
+		if r.QueryCPU < 0 || r.UpdateCPU < 0 || r.CPUUtilization > 2 {
+			t.Logf("cpu accounting %v/%v/%v", r.QueryCPU, r.UpdateCPU, r.CPUUtilization)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package eventsim is a small deterministic discrete-event simulation
+// kernel: a virtual clock and a time-ordered event heap with stable
+// tie-breaking (schedule order), cancellation, and run-until semantics.
+// The web-database engine is built on top of it.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It can be cancelled until it fires.
+type Event struct {
+	time      float64
+	seq       int64
+	fn        func()
+	index     int
+	cancelled bool
+}
+
+// Time returns the scheduled firing time.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Sim is the simulation kernel. Not safe for concurrent use.
+type Sim struct {
+	now    float64
+	nextID int64
+	events eventHeap
+	fired  int64
+}
+
+// New creates a simulator with the clock at zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() int64 { return s.fired }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn at absolute time t. Events scheduled for the current
+// instant run after the currently executing event returns. Scheduling in
+// the past panics — it would silently corrupt causality.
+func (s *Sim) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("eventsim: scheduling at non-finite time %v", t))
+	}
+	e := &Event{time: t, seq: s.nextID, fn: fn}
+	s.nextID++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn after a delay d >= 0.
+func (s *Sim) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel marks e so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 { // still queued: unlink now to keep the heap small
+		heap.Remove(&s.events, e.index)
+	}
+}
+
+// Step executes the next event. It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		if e.time < s.now {
+			panic("eventsim: time went backwards")
+		}
+		s.now = e.time
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue empties or the next event lies
+// strictly beyond until; the clock finishes at min(until, last event time)
+// or exactly until when limited. It returns the number of events executed.
+func (s *Sim) Run(until float64) int64 {
+	start := s.fired
+	for s.events.Len() > 0 {
+		next := s.events[0]
+		if next.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.time > until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.fired - start
+}
+
+// RunAll executes every scheduled event. It returns the number executed.
+func (s *Sim) RunAll() int64 {
+	start := s.fired
+	for s.Step() {
+	}
+	return s.fired - start
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	e.index = -1
+	return e
+}

@@ -1,0 +1,109 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): Table 1 (the update traces), Table 2 (the USM weight
+// settings), Figure 3 (access and update distributions, original versus
+// UNIT-degraded), Figure 4 (naive USM = success ratio across nine
+// trace cells), Figure 5 (USM under non-zero penalties) and Figure 6
+// (outcome-ratio decomposition). Each driver returns structured rows and
+// can render the same series the paper plots.
+package experiments
+
+import (
+	"fmt"
+
+	"unitdb/internal/baseline"
+	"unitdb/internal/baseline/qmf"
+	"unitdb/internal/core"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/workload"
+)
+
+// PolicyName identifies one of the four compared algorithms.
+type PolicyName string
+
+// The four algorithms of the evaluation.
+const (
+	IMU  PolicyName = "IMU"
+	ODU  PolicyName = "ODU"
+	QMF  PolicyName = "QMF"
+	UNIT PolicyName = "UNIT"
+)
+
+// AllPolicies lists the algorithms in the paper's presentation order.
+func AllPolicies() []PolicyName { return []PolicyName{IMU, ODU, QMF, UNIT} }
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Query is the query-trace configuration shared by every cell.
+	Query workload.QueryConfig
+	// QuerySeed and UpdateSeed drive trace synthesis; PolicySeed drives
+	// policy randomness (lottery, tie breaks, QMF's admission gate).
+	QuerySeed  uint64
+	UpdateSeed uint64
+	PolicySeed uint64
+	// EngineSeed drives the engine's update-feed phasing.
+	EngineSeed uint64
+}
+
+// DefaultConfig returns the full-scale experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		Query:      workload.DefaultQueryConfig(),
+		QuerySeed:  42,
+		UpdateSeed: 43,
+		PolicySeed: 1,
+		EngineSeed: 7,
+	}
+}
+
+// QuickConfig returns a reduced-scale configuration for tests and
+// benchmarks (one tenth of the queries; shapes are noisier).
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Query = workload.SmallQueryConfig()
+	return c
+}
+
+// NewPolicy builds a fresh policy instance by name for the given weights.
+func NewPolicy(name PolicyName, weights usm.Weights, seed uint64) (engine.Policy, error) {
+	switch name {
+	case IMU:
+		return baseline.NewIMU(), nil
+	case ODU:
+		return baseline.NewODU(), nil
+	case QMF:
+		cfg := qmf.DefaultConfig()
+		cfg.Seed = seed
+		return qmf.New(cfg), nil
+	case UNIT:
+		cfg := core.DefaultConfig(weights)
+		cfg.Seed = seed
+		return core.New(cfg), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// RunCell executes one (trace, policy, weights) cell and returns the
+// engine results.
+func (c Config) RunCell(w *workload.Workload, name PolicyName, weights usm.Weights) (*engine.Results, error) {
+	p, err := NewPolicy(name, weights, c.PolicySeed)
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.New(engine.NewConfig(w, weights, c.EngineSeed), p)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// BuildQueryTrace synthesizes the shared query trace.
+func (c Config) BuildQueryTrace() (*workload.Workload, error) {
+	return workload.GenerateQueries(c.Query, c.QuerySeed)
+}
+
+// BuildCellTrace attaches one Table 1 update trace to the query trace.
+func (c Config) BuildCellTrace(q *workload.Workload, v workload.Volume, d workload.Distribution) (*workload.Workload, error) {
+	return workload.GenerateUpdates(q, workload.DefaultUpdateConfig(v, d), c.UpdateSeed)
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/workload"
+)
+
+// Fig4Cell is one bar of paper Figure 4: a (volume, distribution, policy)
+// combination evaluated with the naive USM (all weights zero, so USM equals
+// the success ratio).
+type Fig4Cell struct {
+	Volume       workload.Volume
+	Distribution workload.Distribution
+	Trace        string
+	Policy       PolicyName
+	USM          float64
+	Results      *engine.Results
+}
+
+// Fig4Result groups the 36 cells by distribution, matching the paper's
+// three panels (a) uniform, (b) positive, (c) negative correlation.
+type Fig4Result struct {
+	Cells []Fig4Cell
+}
+
+// Fig4 runs the naive-USM comparison over all nine update traces and the
+// four algorithms (paper §4.3).
+func Fig4(cfg Config) (*Fig4Result, error) {
+	q, err := cfg.BuildQueryTrace()
+	if err != nil {
+		return nil, err
+	}
+	weights := usm.Weights{} // naive setting: USM == success ratio
+	res := &Fig4Result{}
+	for _, d := range []workload.Distribution{workload.Uniform, workload.PositiveCorrelation, workload.NegativeCorrelation} {
+		for _, v := range []workload.Volume{workload.Low, workload.Med, workload.High} {
+			w, err := cfg.BuildCellTrace(q, v, d)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range AllPolicies() {
+				r, err := cfg.RunCell(w, p, weights)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, Fig4Cell{
+					Volume: v, Distribution: d, Trace: w.Name, Policy: p,
+					USM: r.USM, Results: r,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Panel returns the cells of one distribution panel.
+func (f *Fig4Result) Panel(d workload.Distribution) []Fig4Cell {
+	var out []Fig4Cell
+	for _, c := range f.Cells {
+		if c.Distribution == d {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Cell returns one cell, or nil when absent.
+func (f *Fig4Result) Cell(v workload.Volume, d workload.Distribution, p PolicyName) *Fig4Cell {
+	for i := range f.Cells {
+		c := &f.Cells[i]
+		if c.Volume == v && c.Distribution == d && c.Policy == p {
+			return c
+		}
+	}
+	return nil
+}
+
+// UNITWinsEverywhere reports whether UNIT has the strictly highest USM in
+// every (volume, distribution) cell — the paper's headline Figure 4 claim.
+func (f *Fig4Result) UNITWinsEverywhere() bool {
+	for _, d := range []workload.Distribution{workload.Uniform, workload.PositiveCorrelation, workload.NegativeCorrelation} {
+		for _, v := range []workload.Volume{workload.Low, workload.Med, workload.High} {
+			unit := f.Cell(v, d, UNIT)
+			if unit == nil {
+				return false
+			}
+			for _, p := range []PolicyName{IMU, ODU, QMF} {
+				if c := f.Cell(v, d, p); c == nil || c.USM >= unit.USM {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MinRelativeImprovement returns, per distribution, UNIT's minimum relative
+// improvement over the best competitor across the three volumes — the
+// statistic the paper reports as "30%, 50% and 10% minimum relative
+// improvement".
+func (f *Fig4Result) MinRelativeImprovement(d workload.Distribution) float64 {
+	min := 0.0
+	first := true
+	for _, v := range []workload.Volume{workload.Low, workload.Med, workload.High} {
+		unit := f.Cell(v, d, UNIT)
+		if unit == nil {
+			continue
+		}
+		best := 0.0
+		for _, p := range []PolicyName{IMU, ODU, QMF} {
+			if c := f.Cell(v, d, p); c != nil && c.USM > best {
+				best = c.USM
+			}
+		}
+		if best <= 0 {
+			continue // competitors at ~zero: improvement unbounded
+		}
+		imp := unit.USM/best - 1
+		if first || imp < min {
+			min = imp
+			first = false
+		}
+	}
+	return min
+}
+
+// WriteFig4 renders the three panels as the paper's bar groups.
+func WriteFig4(w io.Writer, f *Fig4Result) error {
+	for _, d := range []workload.Distribution{workload.Uniform, workload.PositiveCorrelation, workload.NegativeCorrelation} {
+		fmt.Fprintf(w, "Figure 4 panel (%s): naive USM = success ratio\n", d)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "volume\tIMU\tODU\tQMF\tUNIT\twinner")
+		for _, v := range []workload.Volume{workload.Low, workload.Med, workload.High} {
+			line := fmt.Sprintf("%s", v)
+			bestP, bestUSM := PolicyName(""), -1.0
+			for _, p := range AllPolicies() {
+				c := f.Cell(v, d, p)
+				if c == nil {
+					line += "\t-"
+					continue
+				}
+				line += fmt.Sprintf("\t%.4f", c.USM)
+				if c.USM > bestUSM {
+					bestUSM, bestP = c.USM, p
+				}
+			}
+			fmt.Fprintf(tw, "%s\t%s\n", line, bestP)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "UNIT minimum relative improvement over best competitor: %+.1f%%\n\n",
+			100*f.MinRelativeImprovement(d))
+	}
+	return nil
+}

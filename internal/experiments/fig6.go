@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Fig6Row is one stacked bar of paper Figure 6: the decomposition of query
+// outcomes into success / rejection / DMF / DSF ratios for one policy under
+// one weight setting (the setup of Figure 5(a), i.e. penalties < 1).
+type Fig6Row struct {
+	Policy  PolicyName
+	Setting string
+	Success float64
+	Reject  float64
+	DMF     float64
+	DSF     float64
+}
+
+// Fig6 derives the ratio decomposition from a Figure 5 result, as the paper
+// does (§4.5): the three weight-insensitive algorithms appear once (their
+// decomposition under the first penalties<1 setting stands for all), and
+// UNIT appears once per penalties<1 setting, showing how it shifts its
+// failure mix with the weights.
+func Fig6(f5 *Fig5Result) []Fig6Row {
+	var rows []Fig6Row
+	settings := Table2Settings()
+	// Panel (a): IMU, ODU, QMF under the first penalties<1 setting.
+	for _, p := range []PolicyName{IMU, ODU, QMF} {
+		if c := f5.Cell(settings[0].Name, p); c != nil {
+			rs, rr, rfm, rfs := c.Results.Counts.Ratios()
+			rows = append(rows, Fig6Row{Policy: p, Setting: "any", Success: rs, Reject: rr, DMF: rfm, DSF: rfs})
+		}
+	}
+	// Panel (b): UNIT under each penalties<1 setting.
+	for _, s := range settings {
+		if s.Regime != "penalties<1" {
+			continue
+		}
+		if c := f5.Cell(s.Name, UNIT); c != nil {
+			rs, rr, rfm, rfs := c.Results.Counts.Ratios()
+			rows = append(rows, Fig6Row{Policy: UNIT, Setting: "high " + s.Dominant, Success: rs, Reject: rr, DMF: rfm, DSF: rfs})
+		}
+	}
+	return rows
+}
+
+// WriteFig6 renders the decomposition table.
+func WriteFig6(w io.Writer, rows []Fig6Row) error {
+	fmt.Fprintln(w, "Figure 6: outcome-ratio decomposition (setup of Figure 5(a))")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tsetting\tsuccess\treject\tdmf\tdsf")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.Policy, r.Setting, r.Success, r.Reject, r.DMF, r.DSF)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"unitdb/internal/workload"
+)
+
+// Table1Row describes one update trace of paper Table 1, with the realized
+// (measured) properties of the synthesized trace next to the targets.
+type Table1Row struct {
+	Trace               string
+	Volume              workload.Volume
+	Distribution        workload.Distribution
+	TotalUpdates        int     // source updates emitted over the trace
+	Feeds               int     // items with an update feed
+	TargetUtil          float64 // the volume class's utilization target
+	RealizedUtil        float64 // measured update-only CPU utilization
+	TargetCorrelation   float64
+	RealizedCorrelation float64
+}
+
+// Table1 synthesizes all nine update traces and reports their realized
+// volumes, utilizations and correlations against the paper's targets.
+func Table1(cfg Config) ([]Table1Row, error) {
+	q, err := cfg.BuildQueryTrace()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, cell := range workload.Table1Cells() {
+		w, err := workload.GenerateUpdates(q, cell, cfg.UpdateSeed)
+		if err != nil {
+			return nil, err
+		}
+		target := 0.0
+		switch cell.Distribution {
+		case workload.PositiveCorrelation:
+			target = cell.CorrCoef
+		case workload.NegativeCorrelation:
+			target = -cell.CorrCoef
+		}
+		rows = append(rows, Table1Row{
+			Trace:               w.Name,
+			Volume:              cell.Volume,
+			Distribution:        cell.Distribution,
+			TotalUpdates:        w.TotalSourceUpdates(),
+			Feeds:               len(w.Updates),
+			TargetUtil:          cell.Volume.Utilization(),
+			RealizedUtil:        w.UpdateUtilization(),
+			TargetCorrelation:   target,
+			RealizedCorrelation: w.Correlation(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders the rows in the layout of paper Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "trace\tvolume\tdistribution\ttotal updates\tfeeds\tutil target\tutil realized\tcorr target\tcorr realized")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%.2f\t%.3f\t%+.2f\t%+.3f\n",
+			r.Trace, r.Volume, r.Distribution, r.TotalUpdates, r.Feeds,
+			r.TargetUtil, r.RealizedUtil, r.TargetCorrelation, r.RealizedCorrelation)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,159 @@
+// Package lottery implements Waldspurger-style proportional-share
+// scheduling primitives: a lottery sampler backed by an augmented segment
+// tree, and stride scheduling for deterministic proportional selection.
+//
+// UNIT's Update Frequency Modulation (paper §3.4.1) holds one ticket value
+// per data item and repeatedly draws a "victim" item with probability
+// proportional to T_j − T_min (ticket values can be negative, so the paper
+// shifts them by the minimum before drawing). The segment tree keeps the
+// sum and minimum of tickets per subtree, so both the shift and the draw
+// are O(log N) — matching the complexity the paper cites for lottery
+// scheduling — without ever materializing the shifted ticket vector.
+package lottery
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sampler draws indices in [0, n) with probability proportional to
+// tickets[i] − min(tickets). When every ticket is equal the shifted weights
+// are all zero and the draw falls back to uniform.
+type Sampler struct {
+	n    int
+	size int // number of leaves in the complete tree (power of two >= n)
+	sum  []float64
+	min  []float64
+	cnt  []int
+}
+
+// NewSampler creates a sampler for n items with all tickets zero.
+// It panics when n <= 0.
+func NewSampler(n int) *Sampler {
+	if n <= 0 {
+		panic("lottery: sampler needs at least one item")
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	s := &Sampler{
+		n:    n,
+		size: size,
+		sum:  make([]float64, 2*size),
+		min:  make([]float64, 2*size),
+		cnt:  make([]int, 2*size),
+	}
+	for i := 0; i < size; i++ {
+		leaf := size + i
+		if i < n {
+			s.cnt[leaf] = 1
+			s.min[leaf] = 0
+		} else {
+			s.min[leaf] = math.Inf(1) // padding leaves never count
+		}
+	}
+	for i := size - 1; i >= 1; i-- {
+		s.pull(i)
+	}
+	return s
+}
+
+func (s *Sampler) pull(i int) {
+	l, r := 2*i, 2*i+1
+	s.sum[i] = s.sum[l] + s.sum[r]
+	s.min[i] = math.Min(s.min[l], s.min[r])
+	s.cnt[i] = s.cnt[l] + s.cnt[r]
+}
+
+// Len returns the number of items.
+func (s *Sampler) Len() int { return s.n }
+
+// Ticket returns the ticket value of item i.
+func (s *Sampler) Ticket(i int) float64 {
+	s.check(i)
+	return s.sum[s.size+i]
+}
+
+// Set assigns the ticket value of item i.
+func (s *Sampler) Set(i int, ticket float64) {
+	s.check(i)
+	leaf := s.size + i
+	s.sum[leaf] = ticket
+	s.min[leaf] = ticket
+	for leaf /= 2; leaf >= 1; leaf /= 2 {
+		s.pull(leaf)
+	}
+}
+
+// Add adds delta to the ticket value of item i.
+func (s *Sampler) Add(i int, delta float64) { s.Set(i, s.Ticket(i)+delta) }
+
+// Scale multiplies every ticket by factor. This is O(n) and implements the
+// exponential forgetting sweep (paper Eq. 8 applies the forgetting factor
+// on every event touching an item; ScaleAll supports batch decay variants).
+func (s *Sampler) Scale(factor float64) {
+	for i := 0; i < s.n; i++ {
+		leaf := s.size + i
+		s.sum[leaf] *= factor
+		s.min[leaf] = s.sum[leaf]
+	}
+	for i := s.size - 1; i >= 1; i-- {
+		s.pull(i)
+	}
+}
+
+// Sum returns the sum of all tickets.
+func (s *Sampler) Sum() float64 { return s.sum[1] }
+
+// Min returns the minimum ticket value.
+func (s *Sampler) Min() float64 { return s.min[1] }
+
+// EffectiveTotal returns the total shifted weight, Σ(T_i − T_min).
+func (s *Sampler) EffectiveTotal() float64 {
+	return s.sum[1] - float64(s.cnt[1])*s.min[1]
+}
+
+// Sample draws one index using the uniform variate u in [0, 1). Items are
+// weighted by T_i − T_min; if that is zero for every item the draw is
+// uniform. It panics when u is outside [0, 1).
+func (s *Sampler) Sample(u float64) int {
+	if u < 0 || u >= 1 {
+		panic(fmt.Sprintf("lottery: uniform variate %v out of [0,1)", u))
+	}
+	gmin := s.min[1]
+	total := s.sum[1] - float64(s.cnt[1])*gmin
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		return int(u * float64(s.n)) // uniform fallback
+	}
+	r := u * total
+	node := 1
+	for node < s.size {
+		l := 2 * node
+		effL := s.sum[l] - float64(s.cnt[l])*gmin
+		if effL < 0 {
+			effL = 0 // guard against floating point drift
+		}
+		if r < effL {
+			node = l
+		} else {
+			r -= effL
+			node = l + 1
+		}
+	}
+	i := node - s.size
+	if i >= s.n { // drift into a padding leaf; clamp to last real item
+		i = s.n - 1
+	}
+	return i
+}
+
+// Weight returns the shifted weight of item i, T_i − T_min, the quantity
+// the draw is proportional to.
+func (s *Sampler) Weight(i int) float64 { return s.Ticket(i) - s.min[1] }
+
+func (s *Sampler) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("lottery: index %d out of range [0,%d)", i, s.n))
+	}
+}

@@ -1,0 +1,258 @@
+package lottery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"unitdb/internal/stats"
+)
+
+func TestNewSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampler(0) did not panic")
+		}
+	}()
+	NewSampler(0)
+}
+
+func TestSetTicketRoundTrip(t *testing.T) {
+	s := NewSampler(5)
+	for i := 0; i < 5; i++ {
+		s.Set(i, float64(i)*1.5-2)
+	}
+	for i := 0; i < 5; i++ {
+		if got := s.Ticket(i); got != float64(i)*1.5-2 {
+			t.Fatalf("Ticket(%d) = %v", i, got)
+		}
+	}
+}
+
+func TestSumMinInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(40)
+		s := NewSampler(n)
+		ref := make([]float64, n)
+		for op := 0; op < 100; op++ {
+			i := rng.Intn(n)
+			v := rng.Normal(0, 10)
+			switch rng.Intn(3) {
+			case 0:
+				s.Set(i, v)
+				ref[i] = v
+			case 1:
+				s.Add(i, v)
+				ref[i] += v
+			case 2:
+				s.Scale(0.9)
+				for j := range ref {
+					ref[j] *= 0.9
+				}
+			}
+			sum, min := 0.0, math.Inf(1)
+			for _, x := range ref {
+				sum += x
+				if x < min {
+					min = x
+				}
+			}
+			if math.Abs(s.Sum()-sum) > 1e-6 || math.Abs(s.Min()-min) > 1e-9 {
+				return false
+			}
+			if math.Abs(s.EffectiveTotal()-(sum-float64(n)*min)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleProportions(t *testing.T) {
+	// Tickets 0, 10, 30: shifted weights 0, 10, 30 -> item 0 never drawn,
+	// items 1 and 2 drawn 1:3.
+	s := NewSampler(3)
+	s.Set(1, 10)
+	s.Set(2, 30)
+	rng := stats.NewRNG(5)
+	counts := make([]int, 3)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(rng.Float64())]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("minimum-ticket item drawn %d times", counts[0])
+	}
+	got := float64(counts[2]) / float64(counts[1])
+	if math.Abs(got-3) > 0.1 {
+		t.Fatalf("draw ratio %v, want ~3", got)
+	}
+}
+
+func TestSampleNegativeTickets(t *testing.T) {
+	// Shift-by-min must handle all-negative tickets: -30, -20, -10 gives
+	// shifted weights 0, 10, 20.
+	s := NewSampler(3)
+	s.Set(0, -30)
+	s.Set(1, -20)
+	s.Set(2, -10)
+	rng := stats.NewRNG(6)
+	counts := make([]int, 3)
+	for i := 0; i < 150000; i++ {
+		counts[s.Sample(rng.Float64())]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("min item drawn %d times", counts[0])
+	}
+	got := float64(counts[2]) / float64(counts[1])
+	if math.Abs(got-2) > 0.1 {
+		t.Fatalf("ratio %v, want ~2", got)
+	}
+}
+
+func TestSampleUniformFallback(t *testing.T) {
+	s := NewSampler(4)
+	for i := 0; i < 4; i++ {
+		s.Set(i, 7) // all equal -> zero shifted weight everywhere
+	}
+	rng := stats.NewRNG(7)
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[s.Sample(rng.Float64())]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("uniform fallback skewed: item %d drawn %d/40000", i, c)
+		}
+	}
+}
+
+func TestSampleAlwaysInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 1 + rng.Intn(33) // exercise non-power-of-two padding
+		s := NewSampler(n)
+		for i := 0; i < n; i++ {
+			s.Set(i, rng.Normal(0, 5))
+		}
+		for d := 0; d < 200; d++ {
+			i := s.Sample(rng.Float64())
+			if i < 0 || i >= n {
+				return false
+			}
+			// The global minimum item must never be drawn unless all are equal.
+			if s.EffectiveTotal() > 1e-9 && s.Weight(i) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePanicsOnBadVariate(t *testing.T) {
+	s := NewSampler(2)
+	for _, u := range []float64{-0.1, 1.0, 2.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sample(%v) did not panic", u)
+				}
+			}()
+			s.Sample(u)
+		}()
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	s := NewSampler(3)
+	for _, i := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Ticket(%d) did not panic", i)
+				}
+			}()
+			s.Ticket(i)
+		}()
+	}
+}
+
+func TestStrideProportional(t *testing.T) {
+	s := NewStride()
+	s.Join(0, 100)
+	s.Join(1, 300)
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		counts[s.Next()]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.05 {
+		t.Fatalf("stride ratio %v, want 3", ratio)
+	}
+}
+
+func TestStrideLeave(t *testing.T) {
+	s := NewStride()
+	s.Join(0, 10)
+	s.Join(1, 10)
+	if !s.Leave(0) {
+		t.Fatal("Leave(0) = false")
+	}
+	if s.Leave(0) {
+		t.Fatal("double Leave(0) = true")
+	}
+	for i := 0; i < 10; i++ {
+		if got := s.Next(); got != 1 {
+			t.Fatalf("Next = %d after removing 0", got)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStridePanics(t *testing.T) {
+	s := NewStride()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Next on empty did not panic")
+			}
+		}()
+		s.Next()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Join with zero tickets did not panic")
+			}
+		}()
+		s.Join(1, 0)
+	}()
+}
+
+func TestStrideLateJoinerNotStarved(t *testing.T) {
+	s := NewStride()
+	s.Join(0, 10)
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	s.Join(1, 10)
+	seen := map[int]int{}
+	for i := 0; i < 100; i++ {
+		seen[s.Next()]++
+	}
+	if seen[1] < 40 {
+		t.Fatalf("late joiner got %d/100 slots", seen[1])
+	}
+	if seen[0] < 40 {
+		t.Fatalf("late joiner monopolized: incumbent got %d/100", seen[0])
+	}
+}

@@ -1,0 +1,98 @@
+package lottery
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Stride implements stride scheduling, the deterministic counterpart of
+// lottery scheduling from the same Waldspurger report the paper cites.
+// Clients with larger ticket allocations are selected proportionally more
+// often, with bounded (O(1)) allocation error instead of the lottery's
+// statistical error. It is provided for ablations against the randomized
+// victim selection in UNIT's update modulation.
+type Stride struct {
+	h strideHeap
+}
+
+const strideScale = 1 << 20
+
+type strideClient struct {
+	id     int
+	pass   float64
+	stride float64
+	index  int // heap index
+}
+
+type strideHeap []*strideClient
+
+func (h strideHeap) Len() int { return len(h) }
+func (h strideHeap) Less(i, j int) bool {
+	if h[i].pass != h[j].pass {
+		return h[i].pass < h[j].pass
+	}
+	return h[i].id < h[j].id
+}
+func (h strideHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *strideHeap) Push(x any) {
+	c := x.(*strideClient)
+	c.index = len(*h)
+	*h = append(*h, c)
+}
+func (h *strideHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// NewStride creates an empty stride scheduler.
+func NewStride() *Stride { return &Stride{} }
+
+// Join adds a client with the given id and ticket allocation.
+// It panics when tickets <= 0.
+func (s *Stride) Join(id int, tickets float64) {
+	if tickets <= 0 {
+		panic(fmt.Sprintf("lottery: stride client %d with non-positive tickets %v", id, tickets))
+	}
+	c := &strideClient{id: id, stride: strideScale / tickets}
+	// New arrivals start at the current minimum pass so they cannot
+	// monopolize nor starve.
+	if s.h.Len() > 0 {
+		c.pass = s.h[0].pass
+	}
+	heap.Push(&s.h, c)
+}
+
+// Len returns the number of clients.
+func (s *Stride) Len() int { return s.h.Len() }
+
+// Next returns the id of the next scheduled client and advances its pass.
+// It panics when the scheduler is empty.
+func (s *Stride) Next() int {
+	if s.h.Len() == 0 {
+		panic("lottery: Next on empty stride scheduler")
+	}
+	c := s.h[0]
+	c.pass += c.stride
+	heap.Fix(&s.h, 0)
+	return c.id
+}
+
+// Leave removes the client with the given id; it reports whether the client
+// was present.
+func (s *Stride) Leave(id int) bool {
+	for _, c := range s.h {
+		if c.id == id {
+			heap.Remove(&s.h, c.index)
+			return true
+		}
+	}
+	return false
+}

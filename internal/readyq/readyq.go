@@ -1,0 +1,155 @@
+// Package readyq implements the dual-priority ready queue of paper §3.1:
+// update transactions are dispatched above user queries, and within each
+// class Earliest Deadline First applies. The queue supports O(log n)
+// push/pop/remove plus the O(n) scans that admission control needs to
+// compute earliest-possible start times and endangered sets.
+package readyq
+
+import (
+	"container/heap"
+	"fmt"
+
+	"unitdb/internal/txn"
+)
+
+// Queue is the two-class EDF ready queue. Not safe for concurrent use.
+type Queue struct {
+	updates classHeap
+	queries classHeap
+	members map[*txn.Txn]bool
+}
+
+// New creates an empty ready queue.
+func New() *Queue {
+	return &Queue{members: make(map[*txn.Txn]bool)}
+}
+
+// Len returns the number of queued transactions.
+func (q *Queue) Len() int { return q.updates.Len() + q.queries.Len() }
+
+// LenClass returns the number of queued transactions of one class.
+func (q *Queue) LenClass(c txn.Class) int {
+	if c == txn.ClassUpdate {
+		return q.updates.Len()
+	}
+	return q.queries.Len()
+}
+
+// Contains reports whether t is queued.
+func (q *Queue) Contains(t *txn.Txn) bool { return q.members[t] }
+
+// Push enqueues t. It panics if t is already queued.
+func (q *Queue) Push(t *txn.Txn) {
+	if q.members[t] {
+		panic(fmt.Sprintf("readyq: %v pushed twice", t))
+	}
+	q.members[t] = true
+	heap.Push(q.heapFor(t), t)
+}
+
+// Pop removes and returns the highest-priority transaction (updates first,
+// then earliest deadline). It returns nil when empty.
+func (q *Queue) Pop() *txn.Txn {
+	h := &q.updates
+	if h.Len() == 0 {
+		h = &q.queries
+	}
+	if h.Len() == 0 {
+		return nil
+	}
+	t := heap.Pop(h).(*txn.Txn)
+	delete(q.members, t)
+	return t
+}
+
+// Peek returns the highest-priority transaction without removing it, or nil
+// when empty.
+func (q *Queue) Peek() *txn.Txn {
+	if q.updates.Len() > 0 {
+		return q.updates.txns[0]
+	}
+	if q.queries.Len() > 0 {
+		return q.queries.txns[0]
+	}
+	return nil
+}
+
+// Remove unlinks t from the queue; it reports whether t was queued.
+func (q *Queue) Remove(t *txn.Txn) bool {
+	if !q.members[t] {
+		return false
+	}
+	delete(q.members, t)
+	heap.Remove(q.heapFor(t), t.HeapIndex())
+	return true
+}
+
+// Updates returns the queued update transactions in arbitrary order. The
+// returned slice is freshly allocated.
+func (q *Queue) Updates() []*txn.Txn { return snapshot(q.updates.txns) }
+
+// Queries returns the queued user queries in arbitrary order. The returned
+// slice is freshly allocated.
+func (q *Queue) Queries() []*txn.Txn { return snapshot(q.queries.txns) }
+
+// UpdateBacklog returns the total remaining service demand of queued
+// updates; queries dispatch only after all of it.
+func (q *Queue) UpdateBacklog() float64 {
+	sum := 0.0
+	for _, t := range q.updates.txns {
+		sum += t.Remaining
+	}
+	return sum
+}
+
+// ExpiredQueries returns queued queries whose firm deadline has passed.
+func (q *Queue) ExpiredQueries(now float64) []*txn.Txn {
+	var out []*txn.Txn
+	for _, t := range q.queries.txns {
+		if t.Expired(now) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (q *Queue) heapFor(t *txn.Txn) *classHeap {
+	if t.Class == txn.ClassUpdate {
+		return &q.updates
+	}
+	return &q.queries
+}
+
+func snapshot(ts []*txn.Txn) []*txn.Txn {
+	out := make([]*txn.Txn, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// classHeap is a deadline-ordered heap of one transaction class.
+type classHeap struct {
+	txns []*txn.Txn
+}
+
+func (h *classHeap) Len() int { return len(h.txns) }
+func (h *classHeap) Less(i, j int) bool {
+	return h.txns[i].HigherPriority(h.txns[j])
+}
+func (h *classHeap) Swap(i, j int) {
+	h.txns[i], h.txns[j] = h.txns[j], h.txns[i]
+	h.txns[i].SetHeapIndex(i)
+	h.txns[j].SetHeapIndex(j)
+}
+func (h *classHeap) Push(x any) {
+	t := x.(*txn.Txn)
+	t.SetHeapIndex(len(h.txns))
+	h.txns = append(h.txns, t)
+}
+func (h *classHeap) Pop() any {
+	n := len(h.txns)
+	t := h.txns[n-1]
+	h.txns[n-1] = nil
+	h.txns = h.txns[:n-1]
+	t.SetHeapIndex(-1)
+	return t
+}

@@ -1,0 +1,177 @@
+package readyq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"unitdb/internal/stats"
+	"unitdb/internal/txn"
+)
+
+func q(id int64, deadline float64) *txn.Txn {
+	return txn.NewQuery(id, 0, []int{0}, 1, deadline, 0.9)
+}
+
+func u(id int64, deadline float64) *txn.Txn {
+	return txn.NewUpdate(id, 0, 0, 0.5, deadline)
+}
+
+func TestPopOrderClassThenEDF(t *testing.T) {
+	rq := New()
+	rq.Push(q(1, 1))   // urgent query
+	rq.Push(u(2, 100)) // relaxed update
+	rq.Push(u(3, 50))
+	rq.Push(q(4, 2))
+	wantIDs := []int64{3, 2, 1, 4} // updates first (EDF), then queries (EDF)
+	for i, want := range wantIDs {
+		got := rq.Pop()
+		if got == nil || got.ID != want {
+			t.Fatalf("pop %d = %v, want id %d", i, got, want)
+		}
+	}
+	if rq.Pop() != nil {
+		t.Fatal("empty queue should pop nil")
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	rq := New()
+	rq.Push(q(1, 5))
+	if rq.Peek().ID != 1 || rq.Len() != 1 {
+		t.Fatal("peek misbehaved")
+	}
+	if rq.Peek() != rq.Pop() {
+		t.Fatal("peek/pop mismatch")
+	}
+	if rq.Peek() != nil {
+		t.Fatal("peek on empty should be nil")
+	}
+}
+
+func TestPushDuplicatePanics(t *testing.T) {
+	rq := New()
+	tx := q(1, 5)
+	rq.Push(tx)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate push did not panic")
+		}
+	}()
+	rq.Push(tx)
+}
+
+func TestRemove(t *testing.T) {
+	rq := New()
+	a, b, c := q(1, 5), q(2, 6), u(3, 1)
+	rq.Push(a)
+	rq.Push(b)
+	rq.Push(c)
+	if !rq.Remove(b) {
+		t.Fatal("remove returned false")
+	}
+	if rq.Remove(b) {
+		t.Fatal("double remove returned true")
+	}
+	if rq.Len() != 2 || rq.Contains(b) {
+		t.Fatal("queue state wrong after remove")
+	}
+	if rq.Pop() != c || rq.Pop() != a {
+		t.Fatal("order corrupted by remove")
+	}
+}
+
+func TestLenClassAndSnapshots(t *testing.T) {
+	rq := New()
+	rq.Push(q(1, 5))
+	rq.Push(q(2, 6))
+	rq.Push(u(3, 1))
+	if rq.LenClass(txn.ClassQuery) != 2 || rq.LenClass(txn.ClassUpdate) != 1 {
+		t.Fatal("class lengths wrong")
+	}
+	if len(rq.Queries()) != 2 || len(rq.Updates()) != 1 {
+		t.Fatal("snapshot lengths wrong")
+	}
+	// Snapshots must be copies.
+	snap := rq.Queries()
+	snap[0] = nil
+	if rq.Queries()[0] == nil {
+		t.Fatal("snapshot aliased internal storage")
+	}
+}
+
+func TestUpdateBacklog(t *testing.T) {
+	rq := New()
+	rq.Push(u(1, 1))
+	rq.Push(u(2, 2))
+	rq.Push(q(3, 9))
+	if got := rq.UpdateBacklog(); got != 1.0 {
+		t.Fatalf("backlog = %v, want 1.0 (two updates of 0.5)", got)
+	}
+}
+
+func TestExpiredQueries(t *testing.T) {
+	rq := New()
+	a := q(1, 5)
+	b := q(2, 50)
+	rq.Push(a)
+	rq.Push(b)
+	exp := rq.ExpiredQueries(10)
+	if len(exp) != 1 || exp[0] != a {
+		t.Fatalf("expired = %v", exp)
+	}
+	if len(rq.ExpiredQueries(1)) != 0 {
+		t.Fatal("nothing expired at t=1")
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	// Popping everything always yields: all updates before all queries,
+	// deadlines non-decreasing within each class, regardless of push or
+	// remove interleavings.
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		rq := New()
+		var all []*txn.Txn
+		var id int64
+		for op := 0; op < 120; op++ {
+			if rng.Float64() < 0.7 || len(all) == 0 {
+				id++
+				var tx *txn.Txn
+				if rng.Float64() < 0.5 {
+					tx = q(id, rng.Float64()*100)
+				} else {
+					tx = u(id, rng.Float64()*100)
+				}
+				rq.Push(tx)
+				all = append(all, tx)
+			} else {
+				i := rng.Intn(len(all))
+				if rq.Contains(all[i]) {
+					rq.Remove(all[i])
+					all = append(all[:i], all[i+1:]...)
+				}
+			}
+		}
+		var popped []*txn.Txn
+		for {
+			tx := rq.Pop()
+			if tx == nil {
+				break
+			}
+			popped = append(popped, tx)
+		}
+		if len(popped) != len(all) {
+			return false
+		}
+		if !sort.SliceIsSorted(popped, func(i, j int) bool {
+			return popped[i].HigherPriority(popped[j])
+		}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a typed HTTP client for the live server's API, used by the
+// load-generator tool and by applications that talk to a remote unitd.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the server at base (e.g.
+// "http://localhost:8080"). httpClient may be nil for a default with a
+// 30 s timeout.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// Query submits a user query; the returned response carries the outcome
+// regardless of the HTTP status code (206/429/504 encode DSF, rejection
+// and DMF respectively).
+func (c *Client) Query(req QueryRequest) (QueryResponse, error) {
+	items := make([]string, len(req.Items))
+	for i, it := range req.Items {
+		items[i] = strconv.Itoa(it)
+	}
+	v := url.Values{}
+	v.Set("items", strings.Join(items, ","))
+	if req.Deadline > 0 {
+		v.Set("deadline", req.Deadline.String())
+	}
+	if req.Work > 0 {
+		v.Set("work", req.Work.String())
+	}
+	if req.Freshness > 0 {
+		v.Set("freshness", strconv.FormatFloat(req.Freshness, 'g', -1, 64))
+	}
+	resp, err := c.http.Get(c.base + "/query?" + v.Encode())
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusPartialContent,
+		http.StatusTooManyRequests, http.StatusGatewayTimeout:
+		var out QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return QueryResponse{}, fmt.Errorf("server: decode query response: %w", err)
+		}
+		return out, nil
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return QueryResponse{}, fmt.Errorf("server: query failed: %s: %s",
+			resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+// Update submits an update-feed write; it reports whether the server
+// applied it (false = dropped by modulation).
+func (c *Client) Update(req UpdateRequest) (bool, error) {
+	v := url.Values{}
+	v.Set("item", strconv.Itoa(req.Item))
+	v.Set("value", strconv.FormatFloat(req.Value, 'g', -1, 64))
+	if req.Work > 0 {
+		v.Set("work", req.Work.String())
+	}
+	resp, err := c.http.Post(c.base+"/update?"+v.Encode(), "", nil)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("server: update failed: %s: %s",
+			resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Applied bool `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, fmt.Errorf("server: decode update response: %w", err)
+	}
+	return out.Applied, nil
+}
+
+// Stats fetches the server's accounting snapshot.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.http.Get(c.base + "/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("server: stats failed: %s", resp.Status)
+	}
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Stats{}, fmt.Errorf("server: decode stats: %w", err)
+	}
+	return out, nil
+}
+
+// Healthy reports whether the server answers its health check.
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

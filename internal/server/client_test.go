@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newClientPair(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, nil), s
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c, _ := newClientPair(t)
+	if !c.Healthy() {
+		t.Fatal("health check failed")
+	}
+	applied, err := c.Update(UpdateRequest{Item: 4, Value: 9.25})
+	if err != nil || !applied {
+		t.Fatalf("update: %v applied=%v", err, applied)
+	}
+	resp, err := c.Query(QueryRequest{Items: []int{4}, Deadline: time.Second, Freshness: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != OutcomeSuccess || resp.Values["4"] != 9.25 {
+		t.Fatalf("response %+v", resp)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Counts.Total() != 1 || st.UpdatesApplied != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestClientDecodesFailureOutcomes(t *testing.T) {
+	c, s := newClientPair(t)
+	// Stale item -> DSF arrives via HTTP 206 but must decode cleanly.
+	s.mu.Lock()
+	s.store.DropUpdate(2)
+	s.mu.Unlock()
+	resp, err := c.Query(QueryRequest{Items: []int{2}, Deadline: time.Second, Freshness: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != OutcomeDSF {
+		t.Fatalf("outcome %s", resp.Outcome)
+	}
+}
+
+func TestClientErrorsOnBadRequest(t *testing.T) {
+	c, _ := newClientPair(t)
+	if _, err := c.Update(UpdateRequest{Item: 9999, Value: 1}); err == nil {
+		t.Fatal("out-of-range update did not error")
+	}
+	if _, err := c.Query(QueryRequest{Items: nil, Deadline: time.Second}); err == nil {
+		t.Fatal("empty item list did not error")
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil)
+	if c.Healthy() {
+		t.Fatal("dead server reported healthy")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("stats against dead server did not error")
+	}
+	if _, err := c.Query(QueryRequest{Items: []int{0}}); err == nil {
+		t.Fatal("query against dead server did not error")
+	}
+	if _, err := c.Update(UpdateRequest{Item: 0}); err == nil {
+		t.Fatal("update against dead server did not error")
+	}
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler returns the HTTP interface of the live server:
+//
+//	GET  /query?items=3,5&deadline=200ms&work=20ms&freshness=0.9
+//	POST /update?item=3&value=1.23&work=5ms
+//	GET  /stats
+//	GET  /healthz
+//
+// Outcomes map to status codes: success 200, data-stale 206 (the result is
+// returned with a staleness notice, paper §3.1), rejected 429,
+// deadline-missed 504.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	items, err := parseItems(r.URL.Query().Get("items"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	deadline, err := parseDurationDefault(r.URL.Query().Get("deadline"), time.Second)
+	if err != nil {
+		http.Error(w, "bad deadline: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	work, err := parseDurationDefault(r.URL.Query().Get("work"), 0)
+	if err != nil {
+		http.Error(w, "bad work: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	fresh := 0.0
+	if f := r.URL.Query().Get("freshness"); f != "" {
+		fresh, err = strconv.ParseFloat(f, 64)
+		if err != nil || fresh <= 0 || fresh > 1 {
+			http.Error(w, "bad freshness", http.StatusBadRequest)
+			return
+		}
+	}
+	resp := s.Query(QueryRequest{Items: items, Deadline: deadline, Work: work, Freshness: fresh})
+	code := http.StatusOK
+	switch resp.Outcome {
+	case OutcomeRejected:
+		code = http.StatusTooManyRequests
+	case OutcomeDMF:
+		code = http.StatusGatewayTimeout
+	case OutcomeDSF:
+		code = http.StatusPartialContent
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	item, err := strconv.Atoi(r.URL.Query().Get("item"))
+	if err != nil {
+		http.Error(w, "bad item", http.StatusBadRequest)
+		return
+	}
+	value, err := strconv.ParseFloat(r.URL.Query().Get("value"), 64)
+	if err != nil {
+		http.Error(w, "bad value", http.StatusBadRequest)
+		return
+	}
+	work, err := parseDurationDefault(r.URL.Query().Get("work"), 0)
+	if err != nil {
+		http.Error(w, "bad work: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	applied, err := s.Update(UpdateRequest{Item: item, Value: value, Work: work})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"applied": applied})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func parseItems(raw string) ([]int, error) {
+	if raw == "" {
+		return nil, errBadItems
+	}
+	parts := strings.Split(raw, ",")
+	items := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, errBadItems
+		}
+		items = append(items, v)
+	}
+	return items, nil
+}
+
+var errBadItems = &badRequestError{"items must be a comma-separated list of item ids"}
+
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func parseDurationDefault(raw string, def time.Duration) (time.Duration, error) {
+	if raw == "" {
+		return def, nil
+	}
+	return time.ParseDuration(raw)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,514 @@
+// Package server runs the UNIT framework on a wall clock instead of the
+// simulator: a concurrent in-memory web-database fronted by HTTP. Queries
+// arrive with firm deadlines and freshness requirements and pass UNIT's
+// admission control before an EDF worker pool executes them; update-feed
+// writes pass through update frequency modulation, which may drop them to
+// protect query timeliness; the Load Balancing Controller re-balances both
+// knobs from the windowed User Satisfaction Metric.
+//
+// The server exists to demonstrate the algorithm core (the same admission,
+// ufm, control and usm packages the simulator uses) against real
+// concurrency. Query and update "work" is carried as an explicit duration
+// parameter, standing in for the computation a production deployment would
+// run.
+package server
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"unitdb/internal/core/admission"
+	"unitdb/internal/core/control"
+	"unitdb/internal/core/ufm"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/datastore"
+	"unitdb/internal/stats"
+	"unitdb/internal/txn"
+)
+
+// Config parameterizes a live server.
+type Config struct {
+	// NumItems is the size of the data set.
+	NumItems int
+	// Weights are the USM penalties driving admission and control.
+	Weights usm.Weights
+	// Workers is the size of the query-execution pool.
+	Workers int
+	// ControlPeriod is the LBC tick (wall clock).
+	ControlPeriod time.Duration
+	// GracePeriod bounds the time between allocation decisions.
+	GracePeriod time.Duration
+	// MinDecisionSamples gates decisions on window size, as in the
+	// simulator policy.
+	MinDecisionSamples int
+	// DegradeBatch is the lottery-draw batch per Degrade signal
+	// (default NumItems).
+	DegradeBatch int
+	// MaxQueue bounds the ready queue; arrivals beyond it are rejected
+	// outright (an overload backstop, not part of the paper's algorithm).
+	MaxQueue int
+	// DefaultFreshness applies when a query does not state a requirement.
+	DefaultFreshness float64
+	// Seed drives the lottery.
+	Seed uint64
+}
+
+// DefaultConfig returns a small live-server configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumItems:           1024,
+		Workers:            4,
+		ControlPeriod:      250 * time.Millisecond,
+		GracePeriod:        time.Second,
+		MinDecisionSamples: 20,
+		MaxQueue:           4096,
+		DefaultFreshness:   0.9,
+		Seed:               1,
+	}
+}
+
+// Outcome is the fate of a live query, mirroring txn.Outcome.
+type Outcome string
+
+// Live query outcomes.
+const (
+	OutcomeSuccess  Outcome = "success"
+	OutcomeRejected Outcome = "rejected"
+	OutcomeDMF      Outcome = "deadline-missed"
+	OutcomeDSF      Outcome = "data-stale"
+)
+
+// QueryRequest is a user query presented to the live server.
+type QueryRequest struct {
+	Items     []int
+	Deadline  time.Duration // firm relative deadline (qt)
+	Work      time.Duration // execution cost the query carries (qe)
+	Freshness float64       // required freshness (qf); 0 = server default
+}
+
+// QueryResponse is the outcome of a live query.
+type QueryResponse struct {
+	Outcome   Outcome            `json:"outcome"`
+	Values    map[string]float64 `json:"values,omitempty"`
+	Freshness float64            `json:"freshness"`
+	Latency   time.Duration      `json:"latency_ns"`
+}
+
+// UpdateRequest is an update-feed write.
+type UpdateRequest struct {
+	Item  int
+	Value float64
+	Work  time.Duration // cost of applying the refresh (ue)
+}
+
+// Stats is a snapshot of the server's accounting.
+type Stats struct {
+	Counts         usm.Counts `json:"counts"`
+	USM            float64    `json:"usm"`
+	CFlex          float64    `json:"cflex"`
+	DegradedItems  int        `json:"degraded_items"`
+	UpdatesApplied int        `json:"updates_applied"`
+	UpdatesDropped int        `json:"updates_dropped"`
+	QueueLength    int        `json:"queue_length"`
+	StaleItems     int        `json:"stale_items"`
+}
+
+type liveQuery struct {
+	req   QueryRequest
+	tx    *txn.Txn
+	done  chan QueryResponse
+	index int
+}
+
+type queryHeap []*liveQuery
+
+func (h queryHeap) Len() int { return len(h) }
+func (h queryHeap) Less(i, j int) bool {
+	return h[i].tx.HigherPriority(h[j].tx)
+}
+func (h queryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *queryHeap) Push(x any) {
+	q := x.(*liveQuery)
+	q.index = len(*h)
+	*h = append(*h, q)
+}
+func (h *queryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return q
+}
+
+// Server is the live web-database. Create with New, stop with Close.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	store   *datastore.Store
+	ac      *admission.Controller
+	mod     *ufm.Modulator
+	lbc     *control.LBC
+	acct    *usm.Accountant
+	rng     *stats.RNG
+	queue   queryHeap
+	backlog float64 // queued work, seconds
+	running float64 // in-flight work, seconds
+
+	lastApplied   []time.Time
+	lastArrival   []time.Time
+	interArrival  []stats.EWMA
+	sinceDecision usm.Counts
+	lastDecision  time.Time
+
+	updatesApplied int
+	updatesDropped int
+	nextID         int64
+
+	closed bool
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+}
+
+// New creates and starts a live server (worker pool plus control loop).
+func New(cfg Config) (*Server, error) {
+	if cfg.NumItems <= 0 {
+		return nil, fmt.Errorf("server: NumItems %d", cfg.NumItems)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.ControlPeriod <= 0 {
+		cfg.ControlPeriod = 250 * time.Millisecond
+	}
+	if cfg.GracePeriod < cfg.ControlPeriod {
+		cfg.GracePeriod = cfg.ControlPeriod
+	}
+	if cfg.MinDecisionSamples <= 0 {
+		cfg.MinDecisionSamples = 20
+	}
+	if cfg.DegradeBatch <= 0 {
+		cfg.DegradeBatch = cfg.NumItems
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4096
+	}
+	if cfg.DefaultFreshness <= 0 || cfg.DefaultFreshness > 1 {
+		cfg.DefaultFreshness = 0.9
+	}
+	if err := cfg.Weights.Validate(); err != nil {
+		return nil, err
+	}
+	ideal := make([]float64, cfg.NumItems)
+	for i := range ideal {
+		ideal[i] = math.Inf(1) // learned online from feed inter-arrivals
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	s := &Server{
+		cfg:          cfg,
+		start:        time.Now(),
+		store:        datastore.New(cfg.NumItems),
+		ac:           admission.New(cfg.Weights),
+		mod:          ufm.New(ideal, rng.Split()),
+		lbc:          control.New(cfg.Weights, rng.Split()),
+		acct:         usm.NewAccountant(cfg.Weights),
+		rng:          rng,
+		lastApplied:  make([]time.Time, cfg.NumItems),
+		lastArrival:  make([]time.Time, cfg.NumItems),
+		interArrival: make([]stats.EWMA, cfg.NumItems),
+		stopCh:       make(chan struct{}),
+	}
+	for i := range s.interArrival {
+		s.interArrival[i] = *stats.NewEWMA(0.3)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.lastDecision = s.start
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.wg.Add(1)
+	go s.controlLoop()
+	return s, nil
+}
+
+// Close stops the worker pool and control loop, failing queued queries.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stopCh)
+	for _, q := range s.queue {
+		q.done <- QueryResponse{Outcome: OutcomeRejected}
+	}
+	s.queue = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// now returns seconds since server start (the algorithm core runs on
+// float64 seconds).
+func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
+// queueView adapts the live queue to admission.QueueView.
+type queueView struct {
+	running float64
+	queued  []*txn.Txn
+}
+
+func (v queueView) RunningRemaining() float64 { return v.running }
+func (v queueView) UpdateBacklog() float64    { return 0 } // updates apply inline
+func (v queueView) QueuedQueries() []*txn.Txn { return v.queued }
+
+// Query submits a user query and blocks until it resolves (success, any
+// failure, or its own deadline).
+func (s *Server) Query(req QueryRequest) QueryResponse {
+	started := time.Now()
+	if req.Freshness <= 0 {
+		req.Freshness = s.cfg.DefaultFreshness
+	}
+	if req.Deadline <= 0 {
+		req.Deadline = time.Second
+	}
+	for _, it := range req.Items {
+		if it < 0 || it >= s.cfg.NumItems {
+			return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
+	}
+	now := s.now()
+	s.nextID++
+	tx := txn.NewQuery(s.nextID, now, req.Items, req.Work.Seconds(), req.Deadline.Seconds(), req.Freshness)
+	view := queueView{running: s.running, queued: make([]*txn.Txn, 0, len(s.queue))}
+	for _, q := range s.queue {
+		view.queued = append(view.queued, q.tx)
+	}
+	overflow := len(s.queue) >= s.cfg.MaxQueue
+	if overflow || s.ac.Admit(now, tx, view) != admission.Admitted {
+		s.finalizeLocked(tx, txn.OutcomeRejected)
+		s.mu.Unlock()
+		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
+	}
+	q := &liveQuery{req: req, tx: tx, done: make(chan QueryResponse, 1)}
+	heap.Push(&s.queue, q)
+	s.backlog += req.Work.Seconds()
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	select {
+	case resp := <-q.done:
+		resp.Latency = time.Since(started)
+		return resp
+	case <-time.After(req.Deadline):
+		// Firm deadline: abort wherever the query is. A worker may resolve
+		// it concurrently; whoever finalizes first wins.
+		s.mu.Lock()
+		if q.index >= 0 && q.index < len(s.queue) && s.queue[q.index] == q {
+			heap.Remove(&s.queue, q.index)
+			s.backlog -= q.req.Work.Seconds()
+			s.finalizeLocked(tx, txn.OutcomeDMF)
+			s.mu.Unlock()
+			return QueryResponse{Outcome: OutcomeDMF, Latency: time.Since(started)}
+		}
+		s.mu.Unlock()
+		// Already executing: wait for the worker's verdict.
+		resp := <-q.done
+		resp.Latency = time.Since(started)
+		return resp
+	}
+}
+
+// Update ingests one update-feed write. It returns true when the update
+// was applied, false when modulation dropped it.
+func (s *Server) Update(req UpdateRequest) (bool, error) {
+	if req.Item < 0 || req.Item >= s.cfg.NumItems {
+		return false, fmt.Errorf("server: item %d out of range", req.Item)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, fmt.Errorf("server: closed")
+	}
+	now := time.Now()
+	// Learn the feed's ideal period from observed inter-arrival times.
+	if !s.lastArrival[req.Item].IsZero() {
+		s.interArrival[req.Item].Observe(now.Sub(s.lastArrival[req.Item]).Seconds())
+	}
+	s.lastArrival[req.Item] = now
+	if p := s.interArrival[req.Item].Value(); p > 0 {
+		s.mod.SetIdealPeriod(req.Item, p)
+	}
+	s.mod.OnUpdate(req.Item, req.Work.Seconds())
+
+	// Throttle only items the controller actually degraded. Live feeds
+	// jitter, so comparing each inter-arrival against the learned mean
+	// period would drop roughly half of a healthy feed's writes; an
+	// undegraded item therefore always applies.
+	period := s.mod.Period(req.Item)
+	ideal := s.mod.IdealPeriod(req.Item)
+	degradedItem := !math.IsInf(ideal, 1) && period > ideal*(1+1e-9)
+	if degradedItem && !s.lastApplied[req.Item].IsZero() {
+		if now.Sub(s.lastApplied[req.Item]).Seconds() < period*(1-1e-9) {
+			s.store.DropUpdate(req.Item)
+			s.updatesDropped++
+			s.mu.Unlock()
+			return false, nil
+		}
+	}
+	s.lastApplied[req.Item] = now
+	s.mu.Unlock()
+
+	if req.Work > 0 {
+		time.Sleep(req.Work) // the refresh computation
+	}
+
+	s.mu.Lock()
+	s.store.ApplyUpdate(req.Item, req.Value, s.now())
+	s.updatesApplied++
+	s.mu.Unlock()
+	return true, nil
+}
+
+// Stats returns a snapshot of the server's accounting.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := s.acct.Total()
+	return Stats{
+		Counts:         counts,
+		USM:            counts.USM(s.cfg.Weights),
+		CFlex:          s.ac.CFlex(),
+		DegradedItems:  s.mod.DegradedCount(),
+		UpdatesApplied: s.updatesApplied,
+		UpdatesDropped: s.updatesDropped,
+		QueueLength:    len(s.queue),
+		StaleItems:     s.store.StaleItems(),
+	}
+}
+
+func (s *Server) finalizeLocked(tx *txn.Txn, o txn.Outcome) {
+	tx.Outcome = o
+	s.acct.Record(o)
+	for _, item := range tx.Items {
+		s.mod.OnQueryAccess(item, tx.EstExec, tx.RelDeadline)
+	}
+}
+
+// worker pops EDF queries and executes them.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		q := heap.Pop(&s.queue).(*liveQuery)
+		s.backlog -= q.req.Work.Seconds()
+		now := s.now()
+		if now >= q.tx.Deadline {
+			s.finalizeLocked(q.tx, txn.OutcomeDMF)
+			s.mu.Unlock()
+			q.done <- QueryResponse{Outcome: OutcomeDMF}
+			continue
+		}
+		// Read phase: sample freshness and values.
+		fresh := s.store.QueryFreshness(q.req.Items)
+		values := make(map[string]float64, len(q.req.Items))
+		for _, item := range q.req.Items {
+			v, _ := s.store.Get(item)
+			values[fmt.Sprintf("%d", item)] = v
+			s.store.RecordAccess(item)
+		}
+		s.running += q.req.Work.Seconds()
+		s.mu.Unlock()
+
+		if q.req.Work > 0 {
+			time.Sleep(q.req.Work) // the query computation
+		}
+
+		s.mu.Lock()
+		s.running -= q.req.Work.Seconds()
+		outcome := txn.OutcomeSuccess
+		resp := QueryResponse{Outcome: OutcomeSuccess, Values: values, Freshness: fresh}
+		switch {
+		case s.now() >= q.tx.Deadline:
+			outcome = txn.OutcomeDMF
+			resp = QueryResponse{Outcome: OutcomeDMF}
+		case fresh < q.req.Freshness:
+			outcome = txn.OutcomeDSF
+			resp.Outcome = OutcomeDSF
+		}
+		s.finalizeLocked(q.tx, outcome)
+		s.mu.Unlock()
+		q.done <- resp
+	}
+}
+
+// controlLoop runs the LBC on the wall clock.
+func (s *Server) controlLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ControlPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.controlTick()
+		}
+	}
+}
+
+func (s *Server) controlTick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sinceDecision.Add(s.acct.Rollover())
+	if s.sinceDecision.Total() < s.cfg.MinDecisionSamples {
+		return
+	}
+	trigger := time.Since(s.lastDecision) >= s.cfg.GracePeriod
+	if s.lbc.DropTriggered(s.sinceDecision.USM(s.cfg.Weights)) {
+		trigger = true
+	}
+	if !trigger {
+		return
+	}
+	action := s.lbc.Decide(s.sinceDecision)
+	s.sinceDecision = usm.Counts{}
+	s.lastDecision = time.Now()
+	if action.LoosenAC {
+		s.ac.Loosen()
+	}
+	if action.TightenAC {
+		s.ac.Tighten()
+	}
+	if action.DegradeUpdate {
+		s.mod.DegradeN(s.cfg.DegradeBatch)
+	}
+	if action.UpgradeUpdate {
+		s.mod.Upgrade()
+	}
+}

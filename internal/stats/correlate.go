@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ApportionCounts scales weights to non-negative integer counts summing
+// exactly to total, using largest-remainder rounding. Negative weights are
+// clamped to zero. It panics when total < 0 or weights is empty while
+// total > 0.
+func ApportionCounts(weights []float64, total int) []int {
+	if total < 0 {
+		panic("stats: ApportionCounts with negative total")
+	}
+	n := len(weights)
+	counts := make([]int, n)
+	if total == 0 {
+		return counts
+	}
+	if n == 0 {
+		panic("stats: ApportionCounts with no weights")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum == 0 {
+		// Degenerate: spread uniformly.
+		for i := range counts {
+			counts[i] = total / n
+		}
+		for i := 0; i < total%n; i++ {
+			counts[i]++
+		}
+		return counts
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		exact := w / sum * float64(total)
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for k := 0; k < total-assigned; k++ {
+		counts[rems[k%n].idx]++
+	}
+	return counts
+}
+
+// CorrelatedCounts synthesizes per-item integer counts that sum to total and
+// whose Pearson correlation with ref approximates targetR (within tol when
+// achievable). targetR = 0 yields an (approximately) uniform allocation.
+//
+// The synthesizer mixes a base series (ref itself for positive targets, the
+// linear inversion max(ref)−ref for negative targets, which correlates −1
+// with ref) with uniform noise, and binary-searches the mixing weight until
+// the realized correlation of the rounded counts hits the target. This is
+// how the update traces of paper Table 1 obtain their ±0.8 correlation with
+// the query distribution.
+func CorrelatedCounts(rng *RNG, ref []float64, total int, targetR, tol float64) ([]int, float64, error) {
+	n := len(ref)
+	if n < 2 {
+		return nil, 0, fmt.Errorf("stats: need at least 2 items, got %d", n)
+	}
+	if targetR < -1 || targetR > 1 {
+		return nil, 0, fmt.Errorf("stats: target correlation %v out of [-1,1]", targetR)
+	}
+	noise := make([]float64, n)
+	for i := range noise {
+		noise[i] = 0.5 + rng.Float64() // positive, roughly uniform
+	}
+	if targetR == 0 {
+		counts := ApportionCounts(noise, total)
+		return counts, pearsonCountsRef(counts, ref), nil
+	}
+	base := make([]float64, n)
+	if targetR > 0 {
+		copy(base, ref)
+	} else {
+		m := Max(ref)
+		for i, v := range ref {
+			base[i] = m - v
+		}
+	}
+	baseNorm := normalize(base)
+	noiseNorm := normalize(noise)
+	want := targetR
+	mix := func(alpha float64) ([]int, float64) {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = alpha*baseNorm[i] + (1-alpha)*noiseNorm[i]
+		}
+		counts := ApportionCounts(w, total)
+		return counts, pearsonCountsRef(counts, ref)
+	}
+	lo, hi := 0.0, 1.0
+	bestCounts, bestR := mix(1)
+	if abs(bestR-want) <= tol {
+		return bestCounts, bestR, nil
+	}
+	for iter := 0; iter < 60; iter++ {
+		alpha := (lo + hi) / 2
+		counts, r := mix(alpha)
+		if abs(r-want) < abs(bestR-want) {
+			bestCounts, bestR = counts, r
+		}
+		if abs(r-want) <= tol {
+			return counts, r, nil
+		}
+		// |r| grows with alpha for both signs of the target.
+		if abs(r) < abs(want) {
+			lo = alpha
+		} else {
+			hi = alpha
+		}
+	}
+	return bestCounts, bestR, nil
+}
+
+func normalize(xs []float64) []float64 {
+	sum := 0.0
+	for _, x := range xs {
+		if x > 0 {
+			sum += x
+		}
+	}
+	out := make([]float64, len(xs))
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(xs))
+		}
+		return out
+	}
+	for i, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		out[i] = x / sum
+	}
+	return out
+}
+
+func pearsonCountsRef(counts []int, ref []float64) float64 {
+	f := make([]float64, len(counts))
+	for i, c := range counts {
+		f[i] = float64(c)
+	}
+	return Pearson(f, ref)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestApportionCountsExactSum(t *testing.T) {
+	r := NewRNG(21)
+	f := func(seed uint64, totalRaw uint16) bool {
+		rr := NewRNG(seed)
+		n := 2 + rr.Intn(64)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rr.Float64() * 10
+		}
+		total := int(totalRaw % 5000)
+		counts := ApportionCounts(w, total)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestApportionCountsProportionality(t *testing.T) {
+	counts := ApportionCounts([]float64{1, 2, 3, 4}, 1000)
+	want := []int{100, 200, 300, 400}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestApportionCountsZeroWeights(t *testing.T) {
+	counts := ApportionCounts([]float64{0, 0, 0}, 10)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 10 {
+		t.Fatalf("zero-weight apportionment sum = %d", sum)
+	}
+}
+
+func TestApportionCountsNegativeClamped(t *testing.T) {
+	counts := ApportionCounts([]float64{-5, 1, 1}, 100)
+	if counts[0] != 0 {
+		t.Fatalf("negative weight should get 0, got %d", counts[0])
+	}
+	if counts[1]+counts[2] != 100 {
+		t.Fatalf("sum = %d", counts[1]+counts[2])
+	}
+}
+
+func makeSkewedRef(rng *RNG, n int) []float64 {
+	z := NewZipf(rng, n, 1.0)
+	ref := make([]float64, n)
+	for i := 0; i < n*100; i++ {
+		ref[z.Next()]++
+	}
+	return ref
+}
+
+func TestCorrelatedCountsPositive(t *testing.T) {
+	rng := NewRNG(33)
+	ref := makeSkewedRef(rng, 256)
+	counts, r, err := CorrelatedCounts(rng, ref, 30000, 0.8, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 0.8, 0.05) {
+		t.Fatalf("realized correlation %v, want ~0.8", r)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 30000 {
+		t.Fatalf("total = %d, want 30000", sum)
+	}
+}
+
+func TestCorrelatedCountsNegative(t *testing.T) {
+	rng := NewRNG(34)
+	ref := makeSkewedRef(rng, 256)
+	counts, r, err := CorrelatedCounts(rng, ref, 30000, -0.8, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, -0.8, 0.05) {
+		t.Fatalf("realized correlation %v, want ~-0.8", r)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 30000 {
+		t.Fatalf("total = %d", sum)
+	}
+}
+
+func TestCorrelatedCountsUniform(t *testing.T) {
+	rng := NewRNG(35)
+	ref := makeSkewedRef(rng, 256)
+	counts, r, err := CorrelatedCounts(rng, ref, 30000, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs(r) > 0.2 {
+		t.Fatalf("uniform allocation correlates %v with ref", r)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 30000 {
+		t.Fatalf("total = %d", sum)
+	}
+}
+
+func TestCorrelatedCountsErrors(t *testing.T) {
+	rng := NewRNG(36)
+	if _, _, err := CorrelatedCounts(rng, []float64{1}, 10, 0.5, 0.1); err == nil {
+		t.Fatal("expected error for tiny ref")
+	}
+	if _, _, err := CorrelatedCounts(rng, []float64{1, 2, 3}, 10, 1.5, 0.1); err == nil {
+		t.Fatal("expected error for out-of-range target")
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	rng := NewRNG(37)
+	z := NewZipf(rng, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d) should dominate rank 50 (%d)", counts[0], counts[50])
+	}
+	// Probability masses must sum to ~1.
+	total := 0.0
+	for i := 0; i < 100; i++ {
+		total += z.Prob(i)
+	}
+	if !almostEq(total, 1, 1e-9) {
+		t.Fatalf("Zipf probabilities sum to %v", total)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	rng := NewRNG(38)
+	z := NewZipf(rng, 10, 0)
+	for i := 0; i < 10; i++ {
+		if !almostEq(z.Prob(i), 0.1, 1e-9) {
+			t.Fatalf("s=0 rank %d prob %v", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	rng := NewRNG(39)
+	for _, c := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d,%v) did not panic", c.n, c.s)
+				}
+			}()
+			NewZipf(rng, c.n, c.s)
+		}()
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	h.Observe(-1) // underflow
+	h.Observe(99) // overflow
+	if h.Count() != 12 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d", i, h.Bucket(i))
+		}
+	}
+	if h.Min() != -1 || h.Max() != 99 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q < 3 || q > 7 {
+		t.Fatalf("median estimate %v", q)
+	}
+	if h.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramTopEdge(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Observe(0.999999999999) // must not index out of range
+	if h.Bucket(3) != 1 {
+		t.Fatalf("top-edge sample landed in wrong bucket")
+	}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over [lo, hi) with overflow and
+// underflow buckets, used for reporting latency and freshness profiles.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	buckets  []int
+	under    int
+	over     int
+	count    int
+	sum      float64
+	min, max float64
+	anyObs   bool
+}
+
+// NewHistogram builds a histogram of n equal buckets over [lo, hi).
+// It panics when n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram with non-positive bucket count")
+	}
+	if hi <= lo {
+		panic("stats: histogram with empty range")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int, n)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.count++
+	h.sum += x
+	if !h.anyObs || x < h.min {
+		h.min = x
+	}
+	if !h.anyObs || x > h.max {
+		h.max = x
+	}
+	h.anyObs = true
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // rounding at the top edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return h.count }
+
+// Mean returns the mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.buckets[i] }
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Quantile returns an approximate quantile (q in [0,1]) assuming samples are
+// uniform within each bucket. Underflow maps to lo and overflow to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	acc := float64(h.under)
+	if target <= acc {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		if target <= acc+float64(c) {
+			frac := 0.0
+			if c > 0 {
+				frac = (target - acc) / float64(c)
+			}
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		acc += float64(c)
+	}
+	return h.hi
+}
+
+// String renders an ASCII sketch of the histogram, one row per bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 1
+	for _, c := range h.buckets {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.buckets {
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(maxC)*40)))
+		fmt.Fprintf(&b, "[%8.3f,%8.3f) %7d %s\n", h.lo+float64(i)*h.width, h.lo+float64(i+1)*h.width, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package stats
+
+import "math"
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the cumulative distribution so sampling is a
+// binary search, which is plenty fast for the n=1024 item spaces used here
+// and keeps the sampler exact (no rejection).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s >= 0.
+// s = 0 degenerates to uniform. It panics when n <= 0 or s < 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf with non-positive n")
+	}
+	if s < 0 {
+		panic("stats: Zipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next samples one rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Save writes the workload to w in gob format.
+func (wl *Workload) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(wl)
+}
+
+// Load reads a workload in gob format.
+func Load(r io.Reader) (*Workload, error) {
+	var wl Workload
+	if err := gob.NewDecoder(r).Decode(&wl); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	return &wl, nil
+}
+
+// SaveFile writes the workload to a file.
+func (wl *Workload) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := wl.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a workload from a file.
+func LoadFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}
+
+// WriteQueriesCSV exports the query trace for inspection:
+// arrival,items,exec,est_exec,rel_deadline,fresh_req.
+func (wl *Workload) WriteQueriesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"arrival", "items", "exec", "est_exec", "rel_deadline", "fresh_req"}); err != nil {
+		return err
+	}
+	for _, q := range wl.Queries {
+		items := make([]string, len(q.Items))
+		for i, it := range q.Items {
+			items[i] = strconv.Itoa(it)
+		}
+		rec := []string{
+			fmtF(q.Arrival), strings.Join(items, ";"), fmtF(q.Exec),
+			fmtF(q.EstExec), fmtF(q.RelDeadline), fmtF(q.FreshReq),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteUpdatesCSV exports the update feeds: item,period,exec.
+func (wl *Workload) WriteUpdatesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"item", "period", "exec"}); err != nil {
+		return err
+	}
+	for _, u := range wl.Updates {
+		if err := cw.Write([]string{strconv.Itoa(u.Item), fmtF(u.Period), fmtF(u.Exec)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 9, 64) }

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	q, err := GenerateQueries(SmallQueryConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := GenerateUpdates(q, DefaultUpdateConfig(Med, PositiveCorrelation), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != w.Name || got.NumItems != w.NumItems || got.Duration != w.Duration {
+		t.Fatal("header fields lost")
+	}
+	if len(got.Queries) != len(w.Queries) || len(got.Updates) != len(w.Updates) {
+		t.Fatal("payload lengths lost")
+	}
+	a, b := got.Queries[100], w.Queries[100]
+	if a.Arrival != b.Arrival || a.Exec != b.Exec || a.RelDeadline != b.RelDeadline ||
+		len(a.Items) != len(b.Items) || a.Items[0] != b.Items[0] {
+		t.Fatal("query content lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.gob")
+	q, err := GenerateQueries(SmallQueryConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Queries) != len(q.Queries) {
+		t.Fatal("file round trip lost queries")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	q, err := GenerateQueries(SmallQueryConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := GenerateUpdates(q, DefaultUpdateConfig(Low, Uniform), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qb bytes.Buffer
+	if err := w.WriteQueriesCSV(&qb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(qb.String()), "\n")
+	if len(lines) != len(w.Queries)+1 {
+		t.Fatalf("query CSV has %d lines, want %d", len(lines), len(w.Queries)+1)
+	}
+	if !strings.HasPrefix(lines[0], "arrival,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	var ub bytes.Buffer
+	if err := w.WriteUpdatesCSV(&ub); err != nil {
+		t.Fatal(err)
+	}
+	ulines := strings.Split(strings.TrimSpace(ub.String()), "\n")
+	if len(ulines) != len(w.Updates)+1 {
+		t.Fatalf("update CSV has %d lines, want %d", len(ulines), len(w.Updates)+1)
+	}
+}

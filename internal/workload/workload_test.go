@@ -1,0 +1,347 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func genSmall(t *testing.T) *Workload {
+	t.Helper()
+	w, err := GenerateQueries(SmallQueryConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateQueriesValid(t *testing.T) {
+	w := genSmall(t)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := SmallQueryConfig()
+	if len(w.Queries) != cfg.NumQueries {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	if w.NumItems != cfg.NumItems || w.Duration != cfg.Duration {
+		t.Fatal("dimensions wrong")
+	}
+}
+
+func TestQueriesSortedAndInRange(t *testing.T) {
+	w := genSmall(t)
+	if !sort.SliceIsSorted(w.Queries, func(i, j int) bool {
+		return w.Queries[i].Arrival < w.Queries[j].Arrival
+	}) {
+		t.Fatal("arrivals not sorted")
+	}
+	for _, q := range w.Queries {
+		if q.Arrival < 0 || q.Arrival >= w.Duration {
+			t.Fatalf("arrival %v outside trace", q.Arrival)
+		}
+		if q.FreshReq != 0.9 {
+			t.Fatalf("freshness requirement %v, want the paper's 0.9", q.FreshReq)
+		}
+		if len(q.Items) != 1 {
+			t.Fatalf("read set size %d, want 1 (one lbn per read)", len(q.Items))
+		}
+	}
+}
+
+func TestQueryUtilizationHitsTarget(t *testing.T) {
+	w := genSmall(t)
+	cfg := SmallQueryConfig()
+	if got := w.QueryUtilization(); math.Abs(got-cfg.TargetUtilization) > 1e-9 {
+		t.Fatalf("query utilization = %v, want %v exactly (scaled)", got, cfg.TargetUtilization)
+	}
+}
+
+func TestDeadlineRule(t *testing.T) {
+	// Paper §4.1: deadlines uniform in [avg exec, spread × max exec].
+	w := genSmall(t)
+	cfg := SmallQueryConfig()
+	sum, max := 0.0, 0.0
+	for _, q := range w.Queries {
+		sum += q.Exec
+		if q.Exec > max {
+			max = q.Exec
+		}
+	}
+	avg := sum / float64(len(w.Queries))
+	for _, q := range w.Queries {
+		if q.RelDeadline < avg-1e-9 || q.RelDeadline > cfg.DeadlineSpread*max+1e-9 {
+			t.Fatalf("deadline %v outside [%v, %v]", q.RelDeadline, avg, cfg.DeadlineSpread*max)
+		}
+	}
+}
+
+func TestSpatialSkew(t *testing.T) {
+	w := genSmall(t)
+	counts := make([]int, len(w.QueryCounts))
+	copy(counts, w.QueryCounts)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	top := 0
+	for _, c := range counts[:len(counts)/8] {
+		top += c
+	}
+	if frac := float64(top) / float64(total); frac < 0.7 {
+		t.Fatalf("top 1/8 of items hold only %.2f of accesses; trace not skewed", frac)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := genSmall(t)
+	b := genSmall(t)
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Arrival != b.Queries[i].Arrival || a.Queries[i].Exec != b.Queries[i].Exec ||
+			a.Queries[i].RelDeadline != b.Queries[i].RelDeadline || a.Queries[i].Items[0] != b.Queries[i].Items[0] {
+			t.Fatalf("query %d differs between identical seeds", i)
+		}
+	}
+	c, err := GenerateQueries(SmallQueryConfig(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Queries {
+		if a.Queries[i].Arrival == c.Queries[i].Arrival {
+			same++
+		}
+	}
+	if same == len(a.Queries) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestEstimateNoise(t *testing.T) {
+	cfg := SmallQueryConfig()
+	cfg.EstNoise = 0.3
+	w, err := GenerateQueries(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for _, q := range w.Queries {
+		if q.EstExec != q.Exec {
+			diff++
+		}
+		if q.EstExec < 0.1*q.Exec-1e-12 {
+			t.Fatalf("estimate %v below floor for exec %v", q.EstExec, q.Exec)
+		}
+	}
+	if diff == 0 {
+		t.Fatal("noise produced no perturbed estimates")
+	}
+}
+
+func TestQueryConfigValidation(t *testing.T) {
+	base := SmallQueryConfig()
+	mutations := []func(*QueryConfig){
+		func(c *QueryConfig) { c.NumItems = 0 },
+		func(c *QueryConfig) { c.NumQueries = 0 },
+		func(c *QueryConfig) { c.Duration = 0 },
+		func(c *QueryConfig) { c.ZipfSkew = -1 },
+		func(c *QueryConfig) { c.ItemsPerQuery = 0 },
+		func(c *QueryConfig) { c.ItemsPerQuery = c.NumItems + 1 },
+		func(c *QueryConfig) { c.TargetUtilization = 0 },
+		func(c *QueryConfig) { c.BurstFraction = 1 },
+		func(c *QueryConfig) { c.BurstFraction = 0.5; c.NumBursts = 0 },
+		func(c *QueryConfig) { c.DeadlineSpread = 0 },
+		func(c *QueryConfig) { c.FreshReq = 0 },
+		func(c *QueryConfig) { c.FreshReq = 1.5 },
+	}
+	for i, m := range mutations {
+		c := base
+		m(&c)
+		if _, err := GenerateQueries(c, 1); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateUpdatesVolumes(t *testing.T) {
+	q := genSmall(t)
+	for _, v := range []Volume{Low, Med, High} {
+		w, err := GenerateUpdates(q, DefaultUpdateConfig(v, Uniform), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.UpdateUtilization(); math.Abs(got-v.Utilization()) > 0.02 {
+			t.Fatalf("%s utilization = %v, want %v", v, got, v.Utilization())
+		}
+		wantTotal := v.TotalUpdates(len(q.Queries))
+		gotTotal := 0
+		for _, c := range w.UpdateCounts {
+			gotTotal += c
+		}
+		if gotTotal != wantTotal {
+			t.Fatalf("%s total updates = %d, want %d", v, gotTotal, wantTotal)
+		}
+	}
+}
+
+func TestGenerateUpdatesCorrelations(t *testing.T) {
+	q := genSmall(t)
+	pos, err := GenerateUpdates(q, DefaultUpdateConfig(Med, PositiveCorrelation), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pos.Correlation(); math.Abs(got-0.8) > 0.1 {
+		t.Fatalf("positive correlation = %v, want ~0.8", got)
+	}
+	neg, err := GenerateUpdates(q, DefaultUpdateConfig(Med, NegativeCorrelation), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := neg.Correlation(); math.Abs(got+0.8) > 0.1 {
+		t.Fatalf("negative correlation = %v, want ~-0.8", got)
+	}
+	unif, err := GenerateUpdates(q, DefaultUpdateConfig(Med, Uniform), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := unif.UpdateCounts[0], unif.UpdateCounts[0]
+	for _, c := range unif.UpdateCounts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("uniform counts spread %d..%d", min, max)
+	}
+}
+
+func TestGenerateUpdatesSharesQueryTrace(t *testing.T) {
+	q := genSmall(t)
+	w, err := GenerateUpdates(q, DefaultUpdateConfig(Low, Uniform), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != len(q.Queries) {
+		t.Fatal("query trace not shared")
+	}
+	if len(q.Updates) != 0 {
+		t.Fatal("original workload mutated")
+	}
+	if w.Name != "low-unif" {
+		t.Fatalf("trace name %q", w.Name)
+	}
+}
+
+func TestCountMultiplier(t *testing.T) {
+	q := genSmall(t)
+	cfg := DefaultUpdateConfig(Med, Uniform)
+	cfg.CountMultiplier = 5
+	w, err := GenerateUpdates(q, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := GenerateUpdates(q, DefaultUpdateConfig(Med, Uniform), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.TotalSourceUpdates(), 5*base.TotalSourceUpdates(); math.Abs(float64(got-want)) > float64(want)/10 {
+		t.Fatalf("multiplied count %d, want ~%d", got, want)
+	}
+	// Utilization must stay at the volume target despite 5x the updates.
+	if got := w.UpdateUtilization(); math.Abs(got-0.75) > 0.02 {
+		t.Fatalf("utilization with multiplier = %v", got)
+	}
+}
+
+func TestUpdateConfigValidation(t *testing.T) {
+	q := genSmall(t)
+	bad := DefaultUpdateConfig(Med, Uniform)
+	bad.CorrCoef = 0
+	if _, err := GenerateUpdates(q, bad, 1); err == nil {
+		t.Fatal("zero correlation coefficient accepted")
+	}
+	bad2 := DefaultUpdateConfig(Med, Distribution(99))
+	if _, err := GenerateUpdates(q, bad2, 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	noCounts := &Workload{NumItems: 4, Duration: 10}
+	if _, err := GenerateUpdates(noCounts, DefaultUpdateConfig(Med, Uniform), 1); err == nil {
+		t.Fatal("workload without spatial counts accepted")
+	}
+}
+
+func TestTable1Cells(t *testing.T) {
+	cells := Table1Cells()
+	if len(cells) != 9 {
+		t.Fatalf("Table 1 has %d cells, want 9", len(cells))
+	}
+	names := map[string]bool{}
+	for _, c := range cells {
+		names[c.TraceName()] = true
+	}
+	for _, want := range []string{"low-unif", "med-pos", "high-neg"} {
+		if !names[want] {
+			t.Fatalf("missing trace %s", want)
+		}
+	}
+}
+
+func TestVolumeAndDistributionStrings(t *testing.T) {
+	if Low.String() != "low" || Med.String() != "med" || High.String() != "high" {
+		t.Fatal("volume names")
+	}
+	if Uniform.String() != "unif" || PositiveCorrelation.String() != "pos" || NegativeCorrelation.String() != "neg" {
+		t.Fatal("distribution names")
+	}
+	if Volume(9).String() == "" || Distribution(9).String() == "" {
+		t.Fatal("unknown enums must render")
+	}
+}
+
+func TestVolumePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown volume utilization did not panic")
+		}
+	}()
+	Volume(9).Utilization()
+}
+
+func TestWorkloadValidateCatchesCorruption(t *testing.T) {
+	base := genSmall(t)
+	mutate := []func(*Workload){
+		func(w *Workload) { w.NumItems = 0 },
+		func(w *Workload) { w.Duration = 0 },
+		func(w *Workload) { w.Queries[0].Items = nil },
+		func(w *Workload) { w.Queries[0].Items = []int{9999} },
+		func(w *Workload) { w.Queries[0].Exec = 0 },
+		func(w *Workload) { w.Queries[0].FreshReq = 2 },
+		func(w *Workload) { w.Queries[5].Arrival = 0 }, // out of order
+		func(w *Workload) { w.Updates = []UpdateSpec{{Item: -1, Period: 1, Exec: 1}} },
+		func(w *Workload) { w.Updates = []UpdateSpec{{Item: 0, Period: 0, Exec: 1}} },
+		func(w *Workload) {
+			w.Updates = []UpdateSpec{{Item: 0, Period: 1, Exec: 1}, {Item: 0, Period: 2, Exec: 1}}
+		},
+	}
+	for i, m := range mutate {
+		w, err := GenerateQueries(SmallQueryConfig(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+	_ = base
+}

@@ -1,0 +1,26 @@
+package unit
+
+import "unitdb/internal/server"
+
+// ServerConfig configures the live (wall-clock) web-database server.
+type ServerConfig = server.Config
+
+// Server is the live web-database: UNIT's admission control, update
+// frequency modulation and feedback control running over a concurrent
+// in-memory store with an HTTP front end.
+type Server = server.Server
+
+// QueryRequest is a live user query.
+type QueryRequest = server.QueryRequest
+
+// QueryResponse is a live query's outcome.
+type QueryResponse = server.QueryResponse
+
+// UpdateRequest is a live update-feed write.
+type UpdateRequest = server.UpdateRequest
+
+// DefaultServerConfig returns a small live-server configuration.
+func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
+
+// NewServer creates and starts a live server. Close it when done.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }

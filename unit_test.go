@@ -1,0 +1,130 @@
+package unit
+
+import (
+	"testing"
+	"time"
+
+	"unitdb/internal/workload"
+)
+
+// tinyConfig is small enough for unit tests.
+func tinyConfig() Config {
+	c := QuickConfig()
+	c.Query.NumQueries = 1500
+	c.Query.Duration = 6000
+	return c
+}
+
+func TestRunDefaults(t *testing.T) {
+	cfg := tinyConfig()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Policy != "UNIT" {
+		t.Fatalf("default policy = %s", r.Policy)
+	}
+	if r.Counts.Total() != cfg.Query.NumQueries {
+		t.Fatalf("outcomes = %d", r.Counts.Total())
+	}
+	if r.Trace != "med-unif" {
+		t.Fatalf("trace = %s", r.Trace)
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	cfg := tinyConfig()
+	for _, p := range []PolicyName{PolicyIMU, PolicyODU, PolicyQMF, PolicyUNIT} {
+		cfg.Policy = p
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if r.Policy != string(p) {
+			t.Fatalf("ran %s, got results for %s", p, r.Policy)
+		}
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Policy = "nonsense"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestCompareSharesWorkload(t *testing.T) {
+	cfg := tinyConfig()
+	rs, err := Compare(cfg, PolicyIMU, PolicyUNIT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Policy != "IMU" || rs[1].Policy != "UNIT" {
+		t.Fatalf("results order: %v %v", rs[0].Policy, rs[1].Policy)
+	}
+	if rs[0].Counts.Total() != rs[1].Counts.Total() {
+		t.Fatal("policies saw different workloads")
+	}
+	// Default comparison covers all four.
+	all, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("default Compare ran %d policies", len(all))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.USM != b.USM || a.Counts != b.Counts {
+		t.Fatalf("identical configs diverged: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+func TestUpdateOverride(t *testing.T) {
+	cfg := tinyConfig()
+	u := workload.DefaultUpdateConfig(Low, Uniform)
+	u.CountMultiplier = 3
+	cfg.Update = &u
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tinyConfig()
+	base.Volume, base.Distribution = Low, Uniform
+	bw, err := BuildWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalSourceUpdates() <= bw.TotalSourceUpdates() {
+		t.Fatal("update override ignored")
+	}
+}
+
+func TestLiveServerFacade(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.NumItems = 8
+	cfg.Workers = 1
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if ok, err := srv.Update(UpdateRequest{Item: 1, Value: 3.5}); err != nil || !ok {
+		t.Fatalf("update: %v %v", ok, err)
+	}
+	resp := srv.Query(QueryRequest{Items: []int{1}, Deadline: time.Second})
+	if resp.Values["1"] != 3.5 {
+		t.Fatalf("read %v", resp.Values)
+	}
+}
