@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race lint vet unitlint ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The live server (internal/server) is the concurrency hot spot; -race
+# over the whole tree keeps the guarded-by annotations honest.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# unitlint enforces the determinism/concurrency invariants: detclock,
+# seededrand, guardedby, usmrange (see cmd/unitlint -help).
+unitlint:
+	$(GO) run ./cmd/unitlint ./...
+
+lint: vet unitlint
+
+# Everything CI runs, in CI's order.
+ci: build lint test race

@@ -1,0 +1,49 @@
+// Command unitlint checks UNIT's determinism and concurrency invariants:
+//
+//	unitlint [-only detclock,seededrand,guardedby,usmrange] [packages]
+//
+// Patterns default to ./... and follow go-tool shape (./internal/...,
+// ./cmd/unitsim). Exit status is 0 when clean, 1 on findings, 2 on usage
+// or load errors. Suppress a deliberate violation with an inline
+// "//unitlint:ignore <analyzer>" comment on (or directly above) the line.
+//
+// Run `unitlint -help` for the analyzer list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"unitdb/internal/lint/unitlint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: unitlint [flags] [packages]\n\nAnalyzers:\n")
+		printAnalyzers(flag.CommandLine.Output())
+		fmt.Fprintln(flag.CommandLine.Output(), "\nFlags:")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(unitlint.Main(os.Stdout, dir, *only, flag.Args()))
+}
+
+func printAnalyzers(w io.Writer) {
+	for _, a := range unitlint.Analyzers {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

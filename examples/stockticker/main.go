@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,6 +29,13 @@ const (
 )
 
 func main() {
+	// One seed drives every random stream — the tick feed, the trader
+	// arrivals, and (through cfg.Seed) the server's degrade lottery — so
+	// a run replays exactly; the seededrand analyzer forbids the global
+	// math/rand source that would break that.
+	seed := flag.Int64("seed", 1, "seed for the tick feed, trader stream and degrade lottery")
+	flag.Parse()
+
 	cfg := unit.DefaultServerConfig()
 	cfg.NumItems = numSymbols
 	cfg.Workers = 2
@@ -35,6 +43,7 @@ func main() {
 	cfg.GracePeriod = 300 * time.Millisecond
 	// Traders hate waiting for a verdict more than a polite rejection.
 	cfg.Weights = unit.Weights{Cr: 0.2, Cfm: 0.8, Cfs: 0.4}
+	cfg.Seed = uint64(*seed)
 	srv, err := unit.NewServer(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -49,7 +58,7 @@ func main() {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		rng := rand.New(rand.NewSource(1))
+		rng := rand.New(rand.NewSource(*seed))
 		ticker := time.NewTicker(tickEvery)
 		defer ticker.Stop()
 		for {
@@ -81,7 +90,7 @@ func main() {
 		defer wg.Done()
 		var traders sync.WaitGroup
 		defer traders.Wait()
-		rng := rand.New(rand.NewSource(2))
+		rng := rand.New(rand.NewSource(*seed + 1))
 		for {
 			select {
 			case <-stop:

@@ -1,0 +1,142 @@
+// Determinism regression tests: a run is a pure function of (workload,
+// weights, seed). These pin the property the detclock and seededrand
+// analyzers exist to protect — if wall-clock time or an unseeded
+// generator ever leaks into the core, the bitwise replays below break
+// long before a reviewer would notice skewed figures.
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"unitdb/internal/core"
+	"unitdb/internal/core/ufm"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/stats"
+	"unitdb/internal/txn"
+	"unitdb/internal/workload"
+)
+
+// detWorkload synthesizes a small med-unif trace from a fixed seed pair.
+func detWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	qc := workload.SmallQueryConfig()
+	qc.NumItems = 96
+	qc.NumQueries = 4000
+	qc.Duration = 15000
+	qc.NumBursts = 4
+	q, err := workload.GenerateQueries(qc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, workload.Uniform), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// tracing wraps a policy and records every finalized query outcome in
+// arrival order, giving the comparison a per-transaction trace rather
+// than aggregates alone.
+type tracing struct {
+	engine.Policy
+	trace *[]string
+}
+
+func (p tracing) OnQueryDone(q *txn.Txn) {
+	*p.trace = append(*p.trace, fmt.Sprintf("%d:%v", q.ID, q.Outcome))
+	p.Policy.OnQueryDone(q)
+}
+
+func runUNIT(t *testing.T, w *workload.Workload, policySeed, engineSeed uint64) (*engine.Results, []string) {
+	t.Helper()
+	weights := usm.Weights{Cr: 0.25, Cfm: 0.75, Cfs: 0.25}
+	pcfg := core.DefaultConfig(weights)
+	pcfg.Seed = policySeed
+	var trace []string
+	e, err := engine.New(engine.Config{Workload: w, Weights: weights, Seed: engineSeed, PhaseUpdates: true},
+		tracing{Policy: core.New(pcfg), trace: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, trace
+}
+
+// TestSameSeedBitwiseIdentical: two runs from identical seeds must agree
+// on every result field and on the full per-query outcome trace.
+func TestSameSeedBitwiseIdentical(t *testing.T) {
+	r1, t1 := runUNIT(t, detWorkload(t), 7, 11)
+	r2, t2 := runUNIT(t, detWorkload(t), 7, 11)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("same-seed runs diverge:\n  run1: %v\n  run2: %v", r1, r2)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Errorf("same-seed outcome traces diverge (%d vs %d entries)", len(t1), len(t2))
+	}
+	if r1.Counts.Total() == 0 || r1.UpdatesApplied == 0 {
+		t.Fatalf("degenerate run (no queries or no updates): %v", r1)
+	}
+}
+
+// TestDifferentSeedDiverges: the seed must actually matter — different
+// engine seeds phase the update feeds differently, so the outcome trace
+// cannot be identical.
+func TestDifferentSeedDiverges(t *testing.T) {
+	w := detWorkload(t)
+	_, t1 := runUNIT(t, w, 7, 11)
+	_, t2 := runUNIT(t, w, 7, 12)
+	if reflect.DeepEqual(t1, t2) {
+		t.Errorf("engine seed 11 and 12 produced identical outcome traces; seed is not flowing into the run")
+	}
+}
+
+// TestLotteryTieBreakFollowsSeed pins paper Fig. 2 line 4: with every
+// item's ticket equal, degrade-victim selection is pure lottery
+// tie-breaking, so the victim sequence must replay under the same seed
+// and reorder under a different one.
+func TestLotteryTieBreakFollowsSeed(t *testing.T) {
+	const items = 64
+	victims := func(seed uint64) []int {
+		ideal := make([]float64, items)
+		for i := range ideal {
+			ideal[i] = 1 // finite: every item is degradable
+		}
+		m := ufm.New(ideal, stats.NewRNG(seed))
+		var seq []int
+		for len(seq) < 16 {
+			v, ok := m.Degrade()
+			if !ok {
+				t.Fatalf("lottery dried up after %d victims", len(seq))
+			}
+			seq = append(seq, v)
+		}
+		return seq
+	}
+	a, b := victims(1), victims(1)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed lottery draws diverge: %v vs %v", a, b)
+	}
+	c := victims(2)
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds drew identical victim sequences %v; tie-breaking is not seeded", a)
+	}
+	// The draw must be a permutation prefix over distinct items, not a
+	// stuck generator.
+	seen := map[int]bool{}
+	for _, v := range a {
+		if v < 0 || v >= items {
+			t.Fatalf("victim %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("lottery drew only %d distinct victims in %d draws", len(seen), len(a))
+	}
+}

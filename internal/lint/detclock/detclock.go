@@ -1,0 +1,104 @@
+// Package detclock forbids wall-clock access in the simulator core.
+//
+// The paper's figures only reproduce when a run is a pure function of
+// (workload, weights, seed): virtual time comes from the event queue
+// (eventsim.Sim.Now), never from the host clock. A single time.Now() in
+// an engine hot path silently re-times every deadline comparison and the
+// results stop being replayable. detclock pins that invariant: calls to
+// clock-reading or sleeping functions of package time are diagnostics in
+// core packages, while wall-clock packages (the live server, commands,
+// examples) are exempt.
+package detclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"unitdb/internal/lint/analysis"
+)
+
+// Analyzer is the detclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detclock",
+	Doc:  "forbid wall-clock time access in deterministic simulator packages",
+	Run:  run,
+}
+
+// CorePrefixes lists the import-path prefixes that must stay wall-clock
+// free: the simulator engine and every pure substrate it is built from.
+// internal/server, cmd/..., examples/... and the root package deliberately
+// run on the wall clock and are not listed.
+var CorePrefixes = []string{
+	"unitdb/internal/engine",
+	"unitdb/internal/eventsim",
+	"unitdb/internal/core",
+	"unitdb/internal/baseline",
+	"unitdb/internal/datastore",
+	"unitdb/internal/experiments",
+	"unitdb/internal/freshness",
+	"unitdb/internal/lockmgr",
+	"unitdb/internal/lottery",
+	"unitdb/internal/readyq",
+	"unitdb/internal/stats",
+	"unitdb/internal/txn",
+	"unitdb/internal/workload",
+}
+
+// forbidden are the package time functions that read the host clock or
+// block on it. Conversions and constants (time.Duration, time.Second) and
+// arithmetic on explicit values stay legal — they carry no hidden state.
+var forbidden = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"After":     "blocks on the wall clock",
+	"Tick":      "creates a wall-clock ticker",
+	"NewTicker": "creates a wall-clock ticker",
+	"NewTimer":  "creates a wall-clock timer",
+	"AfterFunc": "schedules on the wall clock",
+}
+
+// isCore reports whether the package path falls under a core prefix.
+func isCore(path string) bool {
+	for _, p := range CorePrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !isCore(pass.Pkg.Path) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		timeNames := map[string]bool{}
+		for _, n := range analysis.ImportNames(file, "time") {
+			if n != "." {
+				timeNames[n] = true
+			}
+		}
+		if len(timeNames) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[ident.Name] {
+				return true
+			}
+			if why, bad := forbidden[sel.Sel.Name]; bad {
+				pass.Reportf(sel.Pos(),
+					"%s.%s %s; simulator core must use virtual time (eventsim.Sim.Now)",
+					ident.Name, sel.Sel.Name, why)
+			}
+			return true
+		})
+	}
+	return nil
+}

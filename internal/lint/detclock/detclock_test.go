@@ -1,0 +1,18 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"unitdb/internal/lint/analysistest"
+	"unitdb/internal/lint/detclock"
+)
+
+func TestCorePackageFlagged(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detclock.Analyzer,
+		"unitdb/internal/engine")
+}
+
+func TestWallClockPackageExempt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detclock.Analyzer,
+		"unitdb/internal/server")
+}

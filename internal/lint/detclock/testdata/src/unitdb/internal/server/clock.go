@@ -1,0 +1,14 @@
+// Negative fixture: internal/server deliberately runs on the wall clock
+// and is outside detclock's core set — nothing here may be flagged.
+package server
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func tick(d time.Duration) {
+	time.Sleep(d)
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+}

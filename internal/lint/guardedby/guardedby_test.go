@@ -1,0 +1,18 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"unitdb/internal/lint/analysistest"
+	"unitdb/internal/lint/guardedby"
+)
+
+func TestAnnotatedStruct(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer,
+		"unitdb/internal/server")
+}
+
+func TestUnannotatedPackageClean(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer,
+		"unitdb/internal/plain")
+}

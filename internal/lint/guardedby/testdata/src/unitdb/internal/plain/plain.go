@@ -1,0 +1,12 @@
+// Negative fixture: a package with no annotations produces nothing, even
+// with mutexes and racy-looking code present.
+package plain
+
+import "sync"
+
+type bag struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *bag) Inc() { b.n++ } // no annotation, no finding

@@ -1,0 +1,74 @@
+// Fixture for the guarded-by convention: counter mixes compliant and
+// non-compliant methods so one file pins both directions.
+package server
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+	// hits is bumped on every read. // guarded by mu
+	hits  int
+	label string // unguarded: set once before the struct escapes
+
+	rw   sync.RWMutex
+	view []int // guarded by rw
+}
+
+// newCounter is a plain function: populating fields before the value
+// escapes needs no lock.
+func newCounter(label string) *counter {
+	c := &counter{label: label}
+	c.n = 0
+	return c
+}
+
+// Add locks the right mutex.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Get reads n without mu: flagged.
+func (c *counter) Get() int {
+	return c.n // want `c\.n is guarded by "mu" but method counter\.Get never locks c\.mu`
+}
+
+// Peek holds the wrong lock for n.
+func (c *counter) Peek() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	_ = c.view // rw is held: fine
+	return c.n // want `c\.n is guarded by "mu" but method counter\.Peek never locks c\.mu`
+}
+
+// View reads through the RWMutex read lock.
+func (c *counter) View() []int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.view
+}
+
+// bumpLocked documents via its name that the caller holds mu.
+func (c *counter) bumpLocked() {
+	c.n++
+	c.hits++
+}
+
+// Label touches only the unguarded field.
+func (c *counter) Label() string { return c.label }
+
+// closure accesses inside function literals still count.
+func (c *counter) Async() func() {
+	return func() {
+		c.hits++ // want `c\.hits is guarded by "mu" but method counter\.Async never locks c\.mu`
+	}
+}
+
+// Suppressed demonstrates the escape hatch for a deliberate unguarded
+// read (say, a monitoring fast path that tolerates a torn value).
+func (c *counter) Suppressed() int {
+	return c.n //unitlint:ignore guardedby
+}

@@ -1,0 +1,151 @@
+// Package loader parses Go packages for unitlint without the go/packages
+// machinery (which would pull in x/tools; see internal/lint/analysis). It
+// resolves `./...`-style patterns against the enclosing module, parses
+// each directory into one analysis.Package, and derives import paths from
+// the module path in go.mod.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"unitdb/internal/lint/analysis"
+)
+
+// Load expands the patterns relative to dir and parses every matched
+// package. Supported patterns: "./...", "./sub/...", "./sub", and plain
+// relative directories. Directories named "testdata", hidden directories,
+// and directories with no non-generated .go files are skipped.
+func Load(dir string, patterns []string) ([]*analysis.Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		rec := false
+		if p, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec, pat = true, p
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		base := filepath.Join(dir, pat)
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("loader: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("loader: pattern %q: not a directory", pat)
+		}
+		if !rec {
+			dirSet[base] = true
+			continue
+		}
+		err = filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			dirSet[p] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*analysis.Package
+	for _, d := range dirs {
+		pkg, err := ParseDir(d, importPath(root, modPath, d))
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// ParseDir parses the .go files of one directory into a package with the
+// given import path. It returns nil when the directory holds no Go files.
+// Files from a second package name in the same directory (external test
+// packages like foo_test) are folded into the same analysis.Package:
+// unitlint's checks are per-file, so the distinction does not matter.
+func ParseDir(dir, path string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	name := ""
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %w", err)
+		}
+		if name == "" || !strings.HasSuffix(f.Name.Name, "_test") {
+			name = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &analysis.Package{Path: path, Name: name, Dir: dir, Fset: fset, Files: files}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if m, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(m), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("loader: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func importPath(root, modPath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,81 @@
+// Package seededrand forbids the process-global math/rand generators.
+//
+// Lottery draws (paper Fig. 2 line 4) and LBC tie-breaking must replay
+// bit-for-bit from an injected seed, so every random stream in this repo
+// is either a *stats.RNG threaded down from a Seed config field or a
+// locally constructed, explicitly seeded *rand.Rand. Top-level math/rand
+// functions (rand.Intn, rand.Float64, ...) draw from a shared global
+// source whose sequence interleaves across goroutines and — since Go 1.20
+// — auto-seeds at startup, which destroys reproducibility everywhere, not
+// just in the simulator core. seededrand flags them in all packages.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf, ...) are legal:
+// they are exactly how a local seeded generator is built.
+package seededrand
+
+import (
+	"go/ast"
+
+	"unitdb/internal/lint/analysis"
+)
+
+// Analyzer is the seededrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand functions; randomness must flow from an injected seed",
+	Run:  run,
+}
+
+// randPackages are the import paths providing a global generator.
+var randPackages = []string{"math/rand", "math/rand/v2"}
+
+// allowed are selectors on the rand package that do NOT touch the global
+// source: constructors for local generators and source interfaces.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // rand/v2
+	"NewChaCha8": true, // rand/v2
+	// Type names, usable in declarations like var r *rand.Rand.
+	"Rand":     true,
+	"Source":   true,
+	"Source64": true,
+	"Zipf":     true,
+	"PCG":      true,
+	"ChaCha8":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		names := map[string]string{} // local name → import path
+		for _, p := range randPackages {
+			for _, n := range analysis.ImportNames(file, p) {
+				if n != "." {
+					names[n] = p
+				}
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path, isRand := names[ident.Name]
+			if !isRand || allowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global %s.%s is not seed-reproducible; use an injected *stats.RNG or a locally seeded *rand.Rand (%s)",
+				ident.Name, sel.Sel.Name, path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"unitdb/internal/lint/analysistest"
+	"unitdb/internal/lint/seededrand"
+)
+
+func TestGlobalRandFlaggedSeededAllowed(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seededrand.Analyzer,
+		"unitdb/cmd/unitload")
+}

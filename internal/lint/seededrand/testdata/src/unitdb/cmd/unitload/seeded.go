@@ -1,0 +1,18 @@
+// Negative fixture: explicitly seeded local generators are the sanctioned
+// pattern — constructors and method calls on a *rand.Rand are all legal.
+package main
+
+import "math/rand"
+
+func seeded(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	var r *rand.Rand = rng
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Intn(100))
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	z := rand.NewZipf(rng, 1.4, 1, 1023)
+	_ = z.Uint64()
+	return out
+}

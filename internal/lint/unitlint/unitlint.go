@@ -1,0 +1,113 @@
+// Package unitlint is the multichecker driving UNIT's four invariant
+// analyzers: detclock (no wall clock in the simulator core), seededrand
+// (no global math/rand anywhere), guardedby (lock annotations on
+// concurrent structs hold), and usmrange (literal freshness and penalty
+// weights stay in the paper's domains). cmd/unitlint is a thin main
+// around Main; tests drive Run directly.
+package unitlint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/detclock"
+	"unitdb/internal/lint/guardedby"
+	"unitdb/internal/lint/loader"
+	"unitdb/internal/lint/seededrand"
+	"unitdb/internal/lint/usmrange"
+)
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	detclock.Analyzer,
+	seededrand.Analyzer,
+	guardedby.Analyzer,
+	usmrange.Analyzer,
+}
+
+// Select returns the analyzers named in the comma-separated list, or the
+// whole suite when the list is empty.
+func Select(only string) ([]*analysis.Analyzer, error) {
+	if strings.TrimSpace(only) == "" {
+		return Analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range Analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unitlint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run loads the packages matched by patterns under dir and applies the
+// analyzers, returning the surviving (non-suppressed) diagnostics sorted
+// by position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	pkgs, err := loader.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			var out []analysis.Diagnostic
+			pass := analysis.NewPass(a, pkg, &out)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("unitlint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range out {
+				if !analysis.Suppressed(pkg, d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Main runs the suite for a command line: it prints diagnostics to w and
+// returns the process exit code (0 clean, 1 findings, 2 usage/load
+// error).
+func Main(w io.Writer, dir, only string, patterns []string) int {
+	analyzers, err := Select(only)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 2
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := Run(dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(w, "unitlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+package unitlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unitdb/internal/lint/analysistest"
+	"unitdb/internal/lint/unitlint"
+)
+
+// repoRoot walks up from the test's directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := wd; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		if filepath.Dir(d) == d {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+	}
+}
+
+// TestRepoIsClean is the invariant this whole tree exists for: the repo
+// itself must pass its own suite. A regression anywhere (a stray
+// time.Now in the engine, an unguarded server field) fails here before
+// CI even reaches the unitlint step.
+func TestRepoIsClean(t *testing.T) {
+	root := repoRoot(t)
+	diags, err := unitlint.Run(root, []string{"./..."}, unitlint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unitlint found %d issue(s) in the repo:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := unitlint.Select("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite of 4", len(all), err)
+	}
+	two, err := unitlint.Select("detclock, usmrange")
+	if err != nil || len(two) != 2 || two[0].Name != "detclock" || two[1].Name != "usmrange" {
+		t.Fatalf("Select subset = %v, err %v", two, err)
+	}
+	if _, err := unitlint.Select("nosuch"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("Select(nosuch) err = %v, want unknown analyzer", err)
+	}
+}

@@ -1,0 +1,31 @@
+// Positive fixture: literal freshness and weight values outside the
+// paper's domains, at both composite-literal and assignment sites.
+package workload
+
+type QuerySpec struct {
+	Items    []int
+	FreshReq float64
+}
+
+type QueryRequest struct {
+	Freshness float64
+}
+
+type Weights struct {
+	Cr, Cfm, Cfs float64
+}
+
+func bad() {
+	_ = QuerySpec{FreshReq: 0}                  // want `freshness requirement FreshReq = 0 outside \(0,1\]`
+	_ = QuerySpec{FreshReq: 1.5}                // want `freshness requirement FreshReq = 1\.5 outside \(0,1\]`
+	_ = QuerySpec{FreshReq: -0.2}               // want `freshness requirement FreshReq = -0\.2 outside \(0,1\]`
+	_ = QueryRequest{Freshness: 2}              // want `freshness Freshness = 2 outside \(0,1\]`
+	_ = QueryRequest{Freshness: -1}             // want `freshness Freshness = -1 outside \(0,1\]`
+	_ = Weights{Cr: -0.5, Cfm: 0.75, Cfs: 0.25} // want `USM penalty weight Cr = -0\.5 is negative`
+
+	var q QuerySpec
+	q.FreshReq = 1.01 // want `freshness requirement FreshReq = 1\.01 outside \(0,1\]`
+	var w Weights
+	w.Cfs = -1 // want `USM penalty weight Cfs = -1 is negative`
+	_, _ = q, w
+}

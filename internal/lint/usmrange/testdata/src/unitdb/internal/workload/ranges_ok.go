@@ -1,0 +1,16 @@
+// Negative fixture: in-domain literals, the zero "use the default"
+// sentinel on lax fields, and non-literal values are all silent.
+package workload
+
+func good(f float64) {
+	_ = QuerySpec{FreshReq: 0.9}
+	_ = QuerySpec{FreshReq: 1}
+	_ = QuerySpec{FreshReq: f}     // non-literal: not our business
+	_ = QueryRequest{Freshness: 0} // zero delegates to the server default
+	_ = QueryRequest{Freshness: 0.99}
+	_ = Weights{Cr: 0, Cfm: 0.75, Cfs: 0.25}
+
+	var q QuerySpec
+	q.FreshReq = 0.5
+	_ = q
+}

@@ -1,0 +1,8 @@
+// Test files are exempt: validators are exercised with deliberately
+// invalid values, which must not trip the linter.
+package workload
+
+func exercised() {
+	_ = QuerySpec{FreshReq: -5}
+	_ = Weights{Cr: -1}
+}

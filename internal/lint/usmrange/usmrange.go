@@ -1,0 +1,125 @@
+// Package usmrange sanity-checks literal UNIT parameters at construction
+// sites.
+//
+// Two families of values carry tight domain contracts in the paper:
+// freshness requirements qf live in (0, 1] (Eq. 1 — a query demanding
+// zero freshness is meaningless and one demanding more than 1 can never
+// succeed), and the USM penalty weights C_r, C_fm, C_fs are non-negative
+// (Eq. 4 subtracts them; a negative weight would reward failures). The
+// runtime validators catch bad values at run time — usmrange catches the
+// literal ones at lint time, where the fix costs nothing.
+//
+// Checked syntactically, in non-test files only (tests construct invalid
+// values on purpose to exercise the validators): composite-literal fields
+// and simple assignments whose field name is a freshness field (FreshReq
+// strictly in (0,1]; Freshness, DefaultFreshness, TargetFreshness also
+// admit 0, their "use the configured default" sentinel) or a weight field
+// (Cr, Cfm, Cfs non-negative), with a numeric literal value.
+package usmrange
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"unitdb/internal/lint/analysis"
+)
+
+// Analyzer is the usmrange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "usmrange",
+	Doc:  "literal freshness requirements must lie in (0,1] and USM penalty weights must be non-negative",
+	Run:  run,
+}
+
+// strictFresh fields must be in (0,1]; laxFresh fields additionally allow
+// the zero "server default" sentinel.
+var (
+	strictFresh = map[string]bool{"FreshReq": true}
+	laxFresh    = map[string]bool{"Freshness": true, "DefaultFreshness": true, "TargetFreshness": true}
+	weight      = map[string]bool{"Cr": true, "Cfm": true, "Cfs": true}
+)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				key, ok := n.Key.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				check(pass, key.Name, n.Value)
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					check(pass, sel.Sel.Name, n.Rhs[i])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, field string, value ast.Expr) {
+	v, ok := literalFloat(value)
+	if !ok {
+		return
+	}
+	switch {
+	case strictFresh[field]:
+		if v <= 0 || v > 1 {
+			pass.Reportf(value.Pos(),
+				"freshness requirement %s = %v outside (0,1] (Eq. 1)", field, v)
+		}
+	case laxFresh[field]:
+		if v < 0 || v > 1 {
+			pass.Reportf(value.Pos(),
+				"freshness %s = %v outside (0,1] (0 delegates to the default)", field, v)
+		}
+	case weight[field]:
+		if v < 0 {
+			pass.Reportf(value.Pos(),
+				"USM penalty weight %s = %v is negative; Eq. 4 requires non-negative costs", field, v)
+		}
+	}
+}
+
+// literalFloat evaluates an int/float literal, optionally under a single
+// unary +/-. Anything else (variables, expressions) is not usmrange's
+// business.
+func literalFloat(e ast.Expr) (float64, bool) {
+	neg := false
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		switch u.Op {
+		case token.SUB:
+			neg, e = true, u.X
+		case token.ADD:
+			e = u.X
+		default:
+			return 0, false
+		}
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(lit.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}

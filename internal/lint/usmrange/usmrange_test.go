@@ -1,0 +1,13 @@
+package usmrange_test
+
+import (
+	"testing"
+
+	"unitdb/internal/lint/analysistest"
+	"unitdb/internal/lint/usmrange"
+)
+
+func TestLiteralRanges(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), usmrange.Analyzer,
+		"unitdb/internal/workload")
+}

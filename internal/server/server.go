@@ -149,33 +149,44 @@ func (h *queryHeap) Pop() any {
 }
 
 // Server is the live web-database. Create with New, stop with Close.
+//
+// Locking: mu is the single coarse lock; every field annotated
+// "guarded by mu" may only be touched while holding it (the guardedby
+// analyzer in internal/lint enforces the convention, `go test -race`
+// checks the dynamics). cfg, start, cond, wg and stopCh are set in New
+// before the Server escapes and are immutable or internally synchronized
+// afterwards.
 type Server struct {
 	cfg   Config
 	start time.Time
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	store   *datastore.Store
-	ac      *admission.Controller
-	mod     *ufm.Modulator
-	lbc     *control.LBC
-	acct    *usm.Accountant
-	rng     *stats.RNG
-	queue   queryHeap
-	backlog float64 // queued work, seconds
-	running float64 // in-flight work, seconds
+	mu   sync.Mutex
+	cond *sync.Cond // signals queue growth; always waited on under mu
 
-	lastApplied   []time.Time
-	lastArrival   []time.Time
-	interArrival  []stats.EWMA
-	sinceDecision usm.Counts
-	lastDecision  time.Time
+	// The algorithm cores are single-threaded objects; mu serializes
+	// every call into them.
+	store *datastore.Store      // guarded by mu
+	ac    *admission.Controller // guarded by mu
+	mod   *ufm.Modulator        // guarded by mu
+	lbc   *control.LBC          // guarded by mu
+	acct  *usm.Accountant       // guarded by mu
+	rng   *stats.RNG            // guarded by mu
 
-	updatesApplied int
-	updatesDropped int
-	nextID         int64
+	queue   queryHeap // guarded by mu
+	backlog float64   // guarded by mu; queued work, seconds
+	running float64   // guarded by mu; in-flight work, seconds
 
-	closed bool
+	lastApplied   []time.Time  // guarded by mu
+	lastArrival   []time.Time  // guarded by mu
+	interArrival  []stats.EWMA // guarded by mu
+	sinceDecision usm.Counts   // guarded by mu
+	lastDecision  time.Time    // guarded by mu
+
+	updatesApplied int   // guarded by mu
+	updatesDropped int   // guarded by mu
+	nextID         int64 // guarded by mu
+
+	closed bool // guarded by mu
 	wg     sync.WaitGroup
 	stopCh chan struct{}
 }
