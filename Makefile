@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet unitlint ci
+.PHONY: all build test race lint vet unitlint chaos fuzz ci
 
 all: build
 
@@ -25,5 +25,17 @@ unitlint:
 
 lint: vet unitlint
 
+# Chaos recovery regression: seeded fault injection against the simulator
+# (internal/faults) plus the live server's failure paths, under -race.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestPanic|TestCancellation|TestGracefulDrain|TestShed' ./...
+
+# Fuzz smoke: each target briefly, catching regressions in the HTTP input
+# contract without an open-ended fuzzing session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzParseItems -fuzztime=$(FUZZTIME) ./internal/server/
+	$(GO) test -fuzz=FuzzQueryHandler -fuzztime=$(FUZZTIME) ./internal/server/
+
 # Everything CI runs, in CI's order.
-ci: build lint test race
+ci: build lint test race chaos

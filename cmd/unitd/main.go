@@ -12,19 +12,34 @@
 //	POST /update?item=3&value=1.23&work=5ms
 //	GET  /stats
 //	GET  /healthz
+//
+// unitd shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight HTTP requests get -drain to finish, then the query
+// pool drains — in-flight queries run to completion and queued-but-
+// unstarted ones resolve as rejections (tallied in queries_drained, never
+// silently dropped). Exit status is 0 for a signal-initiated shutdown and
+// 1 for any error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"unitdb"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
 	items := flag.Int("items", 1024, "number of data items")
 	workers := flag.Int("workers", 4, "query worker pool size")
@@ -32,6 +47,9 @@ func main() {
 	cfm := flag.Float64("cfm", 0, "deadline-missed penalty C_fm")
 	cfs := flag.Float64("cfs", 0, "data-stale penalty C_fs")
 	control := flag.Duration("control", 250*time.Millisecond, "LBC control period")
+	readHeader := flag.Duration("read-header-timeout", 5*time.Second, "time allowed to read request headers (slowloris guard)")
+	idle := flag.Duration("idle-timeout", 60*time.Second, "keep-alive idle connection timeout")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown grace for in-flight HTTP requests")
 	flag.Parse()
 
 	cfg := unit.DefaultServerConfig()
@@ -43,14 +61,50 @@ func main() {
 	srv, err := unit.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "unitd: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	defer srv.Close()
 
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeader,
+		IdleTimeout:       *idle,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
 	fmt.Printf("unitd: serving %d items on %s (workers=%d, weights=%+v)\n",
 		*items, *addr, *workers, cfg.Weights)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	select {
+	case err := <-errCh:
+		// Listener died on its own (bad address, port in use, ...).
 		fmt.Fprintf(os.Stderr, "unitd: %v\n", err)
-		os.Exit(1)
+		return 1
+	case <-ctx.Done():
 	}
+
+	stop() // a second signal now kills the process the default way
+	fmt.Println("unitd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// Drain window expired with requests still in flight: cut them off.
+		httpSrv.Close()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "unitd: shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "unitd: drain window expired, connections closed")
+	}
+	srv.Close() // drain the query pool: queued work resolves as rejections
+	fmt.Println("unitd: stopped")
+	return 0
 }

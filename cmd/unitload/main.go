@@ -35,9 +35,15 @@ func main() {
 	uwork := flag.Duration("uwork", 2*time.Millisecond, "update execution cost")
 	skew := flag.Float64("skew", 1.4, "Zipf skew of query accesses")
 	seed := flag.Int64("seed", 1, "random seed")
+	retries := flag.Int("retries", 0, "query retry attempts on network errors and 429s (0 = off; updates are never retried)")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff ceiling (doubles per attempt, jittered)")
 	flag.Parse()
 
-	client := server.NewClient(*addr, nil)
+	var opts []server.ClientOption
+	if *retries > 0 {
+		opts = append(opts, server.WithRetry(*retries, *retryBase, uint64(*seed)+2))
+	}
+	client := server.NewClient(*addr, nil, opts...)
 	if !client.Healthy() {
 		fmt.Fprintf(os.Stderr, "unitload: no healthy server at %s\n", *addr)
 		os.Exit(1)
@@ -137,6 +143,10 @@ func main() {
 	}
 	fmt.Printf("server: usm=%.3f cflex=%.2f degraded=%d updates applied=%d dropped=%d queue=%d\n",
 		st.USM, st.CFlex, st.DegradedItems, st.UpdatesApplied, st.UpdatesDropped, st.QueueLength)
+	if st.QueriesShed+st.QueriesPanicked+st.QueriesCanceled+st.QueriesDrained > 0 {
+		fmt.Printf("server: shed=%d panicked=%d canceled=%d drained=%d\n",
+			st.QueriesShed, st.QueriesPanicked, st.QueriesCanceled, st.QueriesDrained)
+	}
 }
 
 // zipfRanks precomputes a sampling table: item i appears proportionally to

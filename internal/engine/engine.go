@@ -80,6 +80,28 @@ func (Base) ControlPeriod() float64 { return 0 }
 // OnControlTick implements Policy.
 func (Base) OnControlTick() {}
 
+// Disturbance perturbs the nominal workload while the engine replays it:
+// fault injection (internal/faults) plugs in here to model feed outages,
+// volume bursts, CPU slowdowns and arrival stalls without rewriting the
+// trace. Implementations must be pure functions of their arguments (plus
+// internal tallies) so disturbed runs stay bitwise-reproducible.
+type Disturbance interface {
+	// ScaleExec returns the multiplicative execution-demand inflation
+	// (> 0; 1 means none) for a transaction presented at time t.
+	ScaleExec(t float64) float64
+	// BlockFeed reports whether item's source update arriving at t is lost
+	// before reaching the system. The source keeps its cadence — only the
+	// delivery disappears — so a blocked arrival still ages the stored
+	// copy by one lag unit.
+	BlockFeed(item int, t float64) bool
+	// FeedRate returns the arrival-rate multiplier (> 0) of item's feed at
+	// t; the feed's next arrival lands period/rate later.
+	FeedRate(item int, t float64) float64
+	// ReleaseQuery returns the time (>= t) at which a query nominally
+	// arriving at t is presented to the system.
+	ReleaseQuery(t float64) float64
+}
+
 // Config parameterizes a run.
 type Config struct {
 	Workload *workload.Workload
@@ -89,6 +111,9 @@ type Config struct {
 	// one period, avoiding synchronized update storms (default true via
 	// NewConfig; zero value means aligned starts).
 	PhaseUpdates bool
+	// Disturbance injects deterministic faults into the replay; nil runs
+	// the workload undisturbed.
+	Disturbance Disturbance
 }
 
 // NewConfig returns a config with the recommended defaults.
@@ -125,6 +150,8 @@ type Engine struct {
 	updatesDropped    int
 	updatesSuperseded int
 	refreshesIssued   int
+	updatesLost       int // feed deliveries blocked by a disturbance
+	queriesStalled    int // query arrivals delayed by a disturbance
 
 	freshSum   float64
 	latencySum float64
@@ -289,8 +316,32 @@ func (e *Engine) queryArrival(idx int) {
 	if idx+1 < len(w.Queries) {
 		e.sim.At(w.Queries[idx+1].Arrival, func() { e.queryArrival(idx + 1) })
 	}
+	if d := e.cfg.Disturbance; d != nil {
+		if release := d.ReleaseQuery(e.sim.Now()); release > e.sim.Now() {
+			// Arrival stall: hold the query and present it at the window
+			// end. Stalled queries are scheduled in nominal arrival order,
+			// so the release burst replays them in that order (eventsim
+			// tie-breaks same-instant events by schedule order).
+			e.queriesStalled++
+			e.sim.At(release, func() { e.presentQuery(spec) })
+			return
+		}
+	}
+	e.presentQuery(spec)
+}
+
+// presentQuery hands one query spec to admission and the ready queue at
+// the current instant — its nominal arrival, or a stall's release time.
+// The deadline anchors at presentation (the system clocks a query from
+// when it first sees it); a CPU slowdown inflates the actual demand while
+// the optimizer's estimate stays nominal.
+func (e *Engine) presentQuery(spec workload.QuerySpec) {
 	e.nextID++
-	q := txn.NewQuery(e.nextID, e.sim.Now(), spec.Items, spec.Exec, spec.RelDeadline, spec.FreshReq)
+	exec := spec.Exec
+	if d := e.cfg.Disturbance; d != nil {
+		exec *= d.ScaleExec(e.sim.Now())
+	}
+	q := txn.NewQuery(e.nextID, e.sim.Now(), spec.Items, exec, spec.RelDeadline, spec.FreshReq)
 	q.EstExec = spec.EstExec
 	q.PrefClass = spec.PrefClass
 	if !e.policy.AdmitQuery(q) {
@@ -304,10 +355,29 @@ func (e *Engine) queryArrival(idx int) {
 
 func (e *Engine) updateArrival(spec workload.UpdateSpec) {
 	now := e.sim.Now()
-	if next := now + spec.Period; next <= e.cfg.Workload.Duration {
+	d := e.cfg.Disturbance
+	gap := spec.Period
+	if d != nil {
+		if rate := d.FeedRate(spec.Item, now); rate > 0 {
+			gap = spec.Period / rate
+		}
+	}
+	if next := now + gap; next <= e.cfg.Workload.Duration {
 		e.sim.At(next, func() { e.updateArrival(spec) })
 	}
-	e.policy.OnSourceUpdate(spec.Item, spec.Exec)
+	if d != nil && d.BlockFeed(spec.Item, now) {
+		// Lost in transit: the source emitted a refresh the system never
+		// saw, so the stored copy is one lag unit staler. Policies get no
+		// OnSourceUpdate — from the system's view the feed just went quiet.
+		e.store.DropUpdate(spec.Item)
+		e.updatesLost++
+		return
+	}
+	exec := spec.Exec
+	if d != nil {
+		exec *= d.ScaleExec(now)
+	}
+	e.policy.OnSourceUpdate(spec.Item, exec)
 	if !e.policy.AdmitUpdate(spec.Item) {
 		e.store.DropUpdate(spec.Item)
 		e.updatesDropped++
@@ -327,7 +397,7 @@ func (e *Engine) updateArrival(spec workload.UpdateSpec) {
 		delete(e.pendingUpdate, spec.Item)
 	}
 	e.nextID++
-	u := txn.NewUpdate(e.nextID, now, spec.Item, spec.Exec, now+spec.Period)
+	u := txn.NewUpdate(e.nextID, now, spec.Item, exec, now+gap)
 	e.pendingUpdate[spec.Item] = u
 	e.ready.Push(u)
 	e.dispatch()
@@ -565,6 +635,12 @@ type Results struct {
 	UpdatesSuperseded int
 	RefreshesIssued   int
 
+	// UpdatesLost counts feed deliveries a disturbance blocked before they
+	// reached the system; QueriesStalled counts query arrivals a
+	// disturbance delayed. Both are zero in undisturbed runs.
+	UpdatesLost    int
+	QueriesStalled int
+
 	HPAborts    int
 	Preemptions int
 	Restarts    int
@@ -611,6 +687,8 @@ func (e *Engine) results() *Results {
 		UpdatesDropped:    e.updatesDropped,
 		UpdatesSuperseded: e.updatesSuperseded,
 		RefreshesIssued:   e.refreshesIssued,
+		UpdatesLost:       e.updatesLost,
+		QueriesStalled:    e.queriesStalled,
 		HPAborts:          e.locks.HPAborts(),
 		Preemptions:       e.preemptions,
 		Restarts:          e.restarts,

@@ -1,0 +1,249 @@
+// Package faults is the deterministic fault-injection subsystem: composable
+// schedules of disturbances — update-feed outages, per-item blackouts,
+// update-volume bursts, CPU slowdowns and query-arrival stalls — replayed
+// against the simulation engine through its disturbance hooks
+// (engine.Config.Disturbance).
+//
+// Everything here is a pure function of virtual time: a fault schedule
+// plus a (workload, weights, seed) triple yields a bitwise-reproducible
+// run, so chaos regression tests can pin exact recovery behaviour the same
+// way the determinism tests pin the undisturbed runs. No wall clock, no
+// hidden randomness (the detclock and seededrand analyzers cover this
+// package).
+//
+// Semantics of each fault kind:
+//
+//   - FeedOutage / ItemBlackout: the source keeps emitting on its cadence
+//     but deliveries inside the window are lost in transit. Each lost
+//     delivery still ages the stored copy (one lag unit, paper Eq. 1) —
+//     the source moved on, the system just never saw it.
+//   - UpdateBurst: the feed's arrival rate is multiplied by Factor inside
+//     the window (arrivals land period/Factor apart), modelling a volume
+//     spike such as a market open.
+//   - CPUSlowdown: execution demands of transactions *presented* inside
+//     the window are multiplied by Factor (arrival-scoped inflation; a
+//     transaction that arrived before the window keeps its nominal
+//     demand). Deadlines and the optimizer's estimates stay nominal — the
+//     user's deadline does not move because the CPU got slow, which is
+//     exactly what makes the fault bite.
+//   - ArrivalStall: queries nominally arriving inside the window are held
+//     and presented together at the window end, in original arrival
+//     order — an upstream partition followed by a thundering herd.
+//     Deadlines anchor at presentation (the server clocks a query from
+//     when it first sees it).
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the built-in fault kinds.
+type Kind int
+
+const (
+	// KindFeedOutage blocks update-feed deliveries (all items, or the
+	// fault's item set for a per-item blackout).
+	KindFeedOutage Kind = iota
+	// KindUpdateBurst multiplies update-feed arrival rates by Factor.
+	KindUpdateBurst
+	// KindCPUSlowdown multiplies execution demands by Factor.
+	KindCPUSlowdown
+	// KindArrivalStall holds query arrivals until the window ends.
+	KindArrivalStall
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFeedOutage:
+		return "feed-outage"
+	case KindUpdateBurst:
+		return "update-burst"
+	case KindCPUSlowdown:
+		return "cpu-slowdown"
+	case KindArrivalStall:
+		return "arrival-stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one disturbance window [Start, End).
+type Fault struct {
+	Kind  Kind
+	Start float64
+	End   float64
+	// Items scopes feed faults (outage, burst) to specific data items;
+	// empty means every feed. Ignored by CPU and arrival faults.
+	Items []int
+	// Factor is the rate multiplier of a burst or the execution-time
+	// inflation of a slowdown. Ignored by outages and stalls.
+	Factor float64
+}
+
+// FeedOutage builds a whole-feed outage over [start, end).
+func FeedOutage(start, end float64) Fault {
+	return Fault{Kind: KindFeedOutage, Start: start, End: end}
+}
+
+// ItemBlackout builds a per-item feed outage over [start, end).
+func ItemBlackout(start, end float64, items ...int) Fault {
+	return Fault{Kind: KindFeedOutage, Start: start, End: end, Items: items}
+}
+
+// UpdateBurst builds a volume burst: every feed (or the given items') runs
+// at factor× its nominal rate over [start, end).
+func UpdateBurst(start, end, factor float64, items ...int) Fault {
+	return Fault{Kind: KindUpdateBurst, Start: start, End: end, Factor: factor, Items: items}
+}
+
+// CPUSlowdown inflates execution demands by factor over [start, end).
+func CPUSlowdown(start, end, factor float64) Fault {
+	return Fault{Kind: KindCPUSlowdown, Start: start, End: end, Factor: factor}
+}
+
+// ArrivalStall holds query arrivals over [start, end), releasing them in a
+// batch at end.
+func ArrivalStall(start, end float64) Fault {
+	return Fault{Kind: KindArrivalStall, Start: start, End: end}
+}
+
+// Active reports whether the fault covers time t.
+func (f Fault) Active(t float64) bool { return t >= f.Start && t < f.End }
+
+// Covers reports whether the fault applies to item (feed faults only; an
+// empty item set covers everything).
+func (f Fault) Covers(item int) bool {
+	if len(f.Items) == 0 {
+		return true
+	}
+	for _, it := range f.Items {
+		if it == item {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks one fault's structural invariants.
+func (f Fault) Validate() error {
+	if f.End <= f.Start || f.Start < 0 {
+		return fmt.Errorf("faults: %s window [%v, %v) is empty or negative", f.Kind, f.Start, f.End)
+	}
+	switch f.Kind {
+	case KindUpdateBurst:
+		if f.Factor <= 0 {
+			return fmt.Errorf("faults: %s factor %v must be positive", f.Kind, f.Factor)
+		}
+	case KindCPUSlowdown:
+		if f.Factor <= 0 {
+			return fmt.Errorf("faults: %s factor %v must be positive", f.Kind, f.Factor)
+		}
+	case KindFeedOutage, KindArrivalStall:
+		// Factor unused.
+	default:
+		return fmt.Errorf("faults: unknown kind %d", int(f.Kind))
+	}
+	for _, it := range f.Items {
+		if it < 0 {
+			return fmt.Errorf("faults: %s scoped to negative item %d", f.Kind, it)
+		}
+	}
+	return nil
+}
+
+// String renders a fault for logs and traces.
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s[%g,%g)", f.Kind, f.Start, f.End)
+	if f.Factor != 0 {
+		s += fmt.Sprintf("×%g", f.Factor)
+	}
+	if len(f.Items) > 0 {
+		s += fmt.Sprintf("@%v", f.Items)
+	}
+	return s
+}
+
+// Schedule is a validated, composable set of faults. Overlapping faults
+// compose: rate multipliers and execution inflations multiply, outages and
+// stalls union.
+type Schedule struct {
+	faults []Fault
+}
+
+// NewSchedule validates the faults and returns their schedule, sorted by
+// start time (ties by end then kind) for reproducible iteration.
+func NewSchedule(fs ...Fault) (*Schedule, error) {
+	out := make([]Fault, len(fs))
+	copy(out, fs)
+	for i, f := range out {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return &Schedule{faults: out}, nil
+}
+
+// MustSchedule is NewSchedule, panicking on invalid faults (test fixtures).
+func MustSchedule(fs ...Fault) *Schedule {
+	s, err := NewSchedule(fs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Faults returns a copy of the schedule's faults in canonical order.
+func (s *Schedule) Faults() []Fault {
+	out := make([]Fault, len(s.faults))
+	copy(out, s.faults)
+	return out
+}
+
+// ActiveAt returns the faults covering time t, in canonical order.
+func (s *Schedule) ActiveAt(t float64) []Fault {
+	var out []Fault
+	for _, f := range s.faults {
+		if f.Active(t) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Horizon returns the end of the last fault window (0 for an empty
+// schedule): after this instant the workload runs undisturbed.
+func (s *Schedule) Horizon() float64 {
+	h := 0.0
+	for _, f := range s.faults {
+		if f.End > h {
+			h = f.End
+		}
+	}
+	return h
+}
+
+// String renders the schedule.
+func (s *Schedule) String() string {
+	if len(s.faults) == 0 {
+		return "faults{}"
+	}
+	out := "faults{"
+	for i, f := range s.faults {
+		if i > 0 {
+			out += " "
+		}
+		out += f.String()
+	}
+	return out + "}"
+}

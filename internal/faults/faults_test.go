@@ -1,0 +1,153 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"unitdb/internal/engine"
+	"unitdb/internal/faults"
+)
+
+// The injector must plug into the engine's disturbance hooks.
+var _ engine.Disturbance = (*faults.Injector)(nil)
+
+func TestFaultValidation(t *testing.T) {
+	bad := []faults.Fault{
+		{Kind: faults.KindFeedOutage, Start: 10, End: 10}, // empty window
+		{Kind: faults.KindFeedOutage, Start: 20, End: 10}, // inverted
+		{Kind: faults.KindFeedOutage, Start: -1, End: 10}, // negative start
+		{Kind: faults.KindUpdateBurst, Start: 0, End: 1},  // zero factor
+		{Kind: faults.KindCPUSlowdown, Start: 0, End: 1, Factor: -2},
+		{Kind: faults.Kind(99), Start: 0, End: 1}, // unknown kind
+		faults.ItemBlackout(0, 1, 3, -4),          // negative item
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("fault %d (%v) validated", i, f)
+		}
+		if _, err := faults.NewSchedule(f); err == nil {
+			t.Errorf("schedule accepted bad fault %d (%v)", i, f)
+		}
+	}
+	good := []faults.Fault{
+		faults.FeedOutage(0, 5),
+		faults.ItemBlackout(1, 2, 7),
+		faults.UpdateBurst(0, 1, 4),
+		faults.CPUSlowdown(2, 3, 1.5),
+		faults.ArrivalStall(0, 10),
+	}
+	if _, err := faults.NewSchedule(good...); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestScheduleOrderingAndAccessors(t *testing.T) {
+	s := faults.MustSchedule(
+		faults.CPUSlowdown(50, 60, 2),
+		faults.FeedOutage(10, 20),
+		faults.ArrivalStall(10, 15),
+	)
+	fs := s.Faults()
+	if len(fs) != 3 || fs[0].Start != 10 || fs[2].Start != 50 {
+		t.Fatalf("canonical order wrong: %v", fs)
+	}
+	if got := s.Horizon(); got != 60 {
+		t.Fatalf("horizon = %v, want 60", got)
+	}
+	if got := len(s.ActiveAt(12)); got != 2 {
+		t.Fatalf("%d faults active at t=12, want 2", got)
+	}
+	if got := len(s.ActiveAt(20)); got != 0 { // windows are half-open
+		t.Fatalf("%d faults active at t=20, want 0", got)
+	}
+	if str := s.String(); !strings.Contains(str, "feed-outage") {
+		t.Fatalf("schedule string %q", str)
+	}
+}
+
+func TestInjectorBlockFeed(t *testing.T) {
+	in := faults.NewInjector(faults.MustSchedule(
+		faults.FeedOutage(10, 20),
+		faults.ItemBlackout(30, 40, 5),
+	))
+	cases := []struct {
+		item int
+		t    float64
+		want bool
+	}{
+		{0, 5, false}, // before any window
+		{0, 10, true}, // whole-feed outage
+		{9, 19.9, true},
+		{0, 20, false}, // half-open end
+		{5, 35, true},  // blackout covers item 5
+		{6, 35, false}, // but not item 6
+	}
+	blocked := 0
+	for _, c := range cases {
+		if got := in.BlockFeed(c.item, c.t); got != c.want {
+			t.Errorf("BlockFeed(%d, %v) = %v, want %v", c.item, c.t, got, c.want)
+		}
+		if c.want {
+			blocked++
+		}
+	}
+	if got := in.Counts().UpdatesBlocked; got != blocked {
+		t.Fatalf("UpdatesBlocked = %d, want %d", got, blocked)
+	}
+}
+
+func TestInjectorComposition(t *testing.T) {
+	in := faults.NewInjector(faults.MustSchedule(
+		faults.CPUSlowdown(0, 10, 2),
+		faults.CPUSlowdown(5, 10, 3),
+		faults.UpdateBurst(0, 10, 4),
+		faults.UpdateBurst(5, 10, 2, 1),
+	))
+	if got := in.ScaleExec(1); got != 2 {
+		t.Fatalf("ScaleExec(1) = %v, want 2", got)
+	}
+	if got := in.ScaleExec(7); got != 6 { // overlapping slowdowns multiply
+		t.Fatalf("ScaleExec(7) = %v, want 6", got)
+	}
+	if got := in.ScaleExec(11); got != 1 {
+		t.Fatalf("ScaleExec(11) = %v, want 1", got)
+	}
+	if got := in.FeedRate(0, 7); got != 4 { // item-scoped burst skips item 0
+		t.Fatalf("FeedRate(0, 7) = %v, want 4", got)
+	}
+	if got := in.FeedRate(1, 7); got != 8 { // bursts multiply on item 1
+		t.Fatalf("FeedRate(1, 7) = %v, want 8", got)
+	}
+	if got := in.Counts().ExecInflations; got != 2 {
+		t.Fatalf("ExecInflations = %d, want 2", got)
+	}
+}
+
+func TestInjectorStallChains(t *testing.T) {
+	in := faults.NewInjector(faults.MustSchedule(
+		faults.ArrivalStall(10, 20),
+		faults.ArrivalStall(20, 30), // release of the first lands in the second
+	))
+	if got := in.ReleaseQuery(5); got != 5 {
+		t.Fatalf("ReleaseQuery(5) = %v, want 5", got)
+	}
+	if got := in.ReleaseQuery(15); got != 30 { // chained through both windows
+		t.Fatalf("ReleaseQuery(15) = %v, want 30", got)
+	}
+	if got := in.ReleaseQuery(30); got != 30 {
+		t.Fatalf("ReleaseQuery(30) = %v, want 30", got)
+	}
+	if got := in.Counts().QueriesStalled; got != 1 {
+		t.Fatalf("QueriesStalled = %d, want 1", got)
+	}
+}
+
+func TestNilScheduleInjectsNothing(t *testing.T) {
+	in := faults.NewInjector(nil)
+	if in.BlockFeed(0, 1) || in.ScaleExec(1) != 1 || in.FeedRate(0, 1) != 1 || in.ReleaseQuery(1) != 1 {
+		t.Fatal("nil-schedule injector disturbed something")
+	}
+	if c := in.Counts(); c != (faults.Counts{}) {
+		t.Fatalf("counts %+v, want zero", c)
+	}
+}

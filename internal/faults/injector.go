@@ -1,0 +1,120 @@
+package faults
+
+import "sync"
+
+// Counts tallies what an injector actually perturbed during a run; chaos
+// tests assert them against the engine's own accounting.
+type Counts struct {
+	// UpdatesBlocked is the number of update-feed deliveries lost to
+	// outages and blackouts.
+	UpdatesBlocked int
+	// QueriesStalled is the number of query arrivals held by a stall.
+	QueriesStalled int
+	// ExecInflations is the number of transactions whose execution demand
+	// a CPU slowdown inflated.
+	ExecInflations int
+}
+
+// Injector replays a fault schedule against a run. It implements the
+// engine's Disturbance hooks (engine.Config.Disturbance).
+//
+// The schedule itself is immutable after construction; the injector only
+// mutates its tally, which mu guards so the same type can also serve
+// wall-clock harnesses that probe it from another goroutine (the simulator
+// itself is single-threaded, where the lock is uncontended).
+type Injector struct {
+	sched *Schedule
+
+	mu     sync.Mutex
+	counts Counts // guarded by mu
+}
+
+// NewInjector builds an injector for the schedule. A nil schedule injects
+// nothing.
+func NewInjector(s *Schedule) *Injector {
+	if s == nil {
+		s = &Schedule{}
+	}
+	return &Injector{sched: s}
+}
+
+// Schedule returns the injector's schedule.
+func (in *Injector) Schedule() *Schedule { return in.sched }
+
+// Counts returns a snapshot of the injection tally.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// ScaleExec implements engine.Disturbance: the product of every active CPU
+// slowdown's factor at time t (1 when none is active).
+func (in *Injector) ScaleExec(t float64) float64 {
+	scale := 1.0
+	for _, f := range in.sched.faults {
+		if f.Kind == KindCPUSlowdown && f.Active(t) {
+			scale *= f.Factor
+		}
+	}
+	if scale != 1 {
+		in.mu.Lock()
+		in.counts.ExecInflations++
+		in.mu.Unlock()
+	}
+	return scale
+}
+
+// BlockFeed implements engine.Disturbance: whether item's delivery at time
+// t is lost to an active outage or blackout.
+func (in *Injector) BlockFeed(item int, t float64) bool {
+	for _, f := range in.sched.faults {
+		if f.Kind == KindFeedOutage && f.Active(t) && f.Covers(item) {
+			in.mu.Lock()
+			in.counts.UpdatesBlocked++
+			in.mu.Unlock()
+			return true
+		}
+	}
+	return false
+}
+
+// FeedRate implements engine.Disturbance: the product of every active
+// burst's rate multiplier covering item at time t (1 when none is active).
+func (in *Injector) FeedRate(item int, t float64) float64 {
+	rate := 1.0
+	for _, f := range in.sched.faults {
+		if f.Kind == KindUpdateBurst && f.Active(t) && f.Covers(item) {
+			rate *= f.Factor
+		}
+	}
+	return rate
+}
+
+// ReleaseQuery implements engine.Disturbance: the time a query nominally
+// arriving at t is presented. Inside a stall window that is the window
+// end; stalls chain, so a release landing inside a later stall is held
+// again until clear of every window.
+func (in *Injector) ReleaseQuery(t float64) float64 {
+	release := t
+	// Each pass can only move the release forward into (at most) one later
+	// window per fault, so len(faults)+1 passes reach a fixed point.
+	for pass := 0; pass <= len(in.sched.faults); pass++ {
+		moved := false
+		for _, f := range in.sched.faults {
+			if f.Kind == KindArrivalStall && f.Active(release) && f.End > release {
+				release = f.End
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	if release > t {
+		in.mu.Lock()
+		in.counts.QueriesStalled++
+		in.mu.Unlock()
+	}
+	return release
+}

@@ -1,0 +1,349 @@
+// Chaos recovery regression tests: each built-in fault schedule is
+// replayed against a UNIT-controlled run and the windowed USM around the
+// fault is pinned — it must dip while the fault is active and climb back
+// to within recoveryTol of the pre-fault level within recoveryWindows
+// measurement windows of the fault ending (DESIGN.md §9 documents the
+// contract). Runs are bitwise-reproducible per seed, so every assertion
+// here is a regression test, not a statistical one.
+//
+// `make chaos` runs this file under the race detector.
+package faults_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"unitdb/internal/core"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/faults"
+	"unitdb/internal/txn"
+	"unitdb/internal/workload"
+)
+
+const (
+	// windowWidth is the USM measurement window in virtual seconds —
+	// 100 LBC control ticks, 20 grace periods of the default UNIT config.
+	windowWidth = 100.0
+	// warmupWindows are excluded from the pre-fault baseline while the
+	// controller and ticket ledger settle.
+	warmupWindows = 5
+	// minWindowSamples gates windows too thin to carry a meaningful USM
+	// (e.g. the near-empty windows inside an arrival stall).
+	minWindowSamples = 50
+	// recoveryWindows bounds how long after fault end the windowed USM may
+	// stay below baseline − recoveryTol·Range (the documented recovery
+	// guarantee, DESIGN.md §9).
+	recoveryWindows = 4
+	// recoveryTol is the recovery tolerance as a fraction of the USM range
+	// 1 + max(Cr, Cfm, Cfs).
+	recoveryTol = 0.05
+)
+
+var chaosWeights = usm.Weights{Cr: 0.25, Cfm: 0.75, Cfs: 0.25}
+
+// chaosWorkload is a med-unif trace dense enough for ~200 query outcomes
+// per measurement window: 6000 queries over 3000 s and 64 items, no flash
+// crowds (the injected fault is the disturbance under test). Built once —
+// the engine treats workloads as read-only.
+var chaosWorkload = sync.OnceValue(func() *workload.Workload {
+	qc := workload.SmallQueryConfig()
+	qc.NumItems = 64
+	qc.NumQueries = 6000
+	qc.Duration = 3000
+	qc.BurstFraction = 0
+	q, err := workload.GenerateQueries(qc, 42)
+	if err != nil {
+		panic(err)
+	}
+	w, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, workload.Uniform), 43)
+	if err != nil {
+		panic(err)
+	}
+	return w
+})
+
+// windowedPolicy wraps UNIT, bucketing every finalized query outcome into
+// fixed virtual-time windows and recording the per-query outcome trace.
+type windowedPolicy struct {
+	engine.Policy
+	e       *engine.Engine
+	windows []usm.Counts
+	trace   []string
+}
+
+func (p *windowedPolicy) Attach(e *engine.Engine) {
+	p.e = e
+	p.Policy.Attach(e)
+}
+
+func (p *windowedPolicy) OnQueryDone(q *txn.Txn) {
+	idx := int(p.e.Now() / windowWidth)
+	for len(p.windows) <= idx {
+		p.windows = append(p.windows, usm.Counts{})
+	}
+	p.windows[idx].Record(q.Outcome)
+	p.trace = append(p.trace, fmt.Sprintf("%d:%v", q.ID, q.Outcome))
+	p.Policy.OnQueryDone(q)
+}
+
+func runChaos(tb testing.TB, sched *faults.Schedule, policySeed, engineSeed uint64) (*windowedPolicy, *engine.Results, faults.Counts) {
+	tb.Helper()
+	pcfg := core.DefaultConfig(chaosWeights)
+	pcfg.Seed = policySeed
+	pol := &windowedPolicy{Policy: core.New(pcfg)}
+	inj := faults.NewInjector(sched)
+	cfg := engine.NewConfig(chaosWorkload(), chaosWeights, engineSeed)
+	cfg.Disturbance = inj
+	e, err := engine.New(cfg, pol)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pol, res, inj.Counts()
+}
+
+// dumpWindows renders the window series for failure diagnostics.
+func dumpWindows(windows []usm.Counts) string {
+	out := ""
+	for i, c := range windows {
+		out += fmt.Sprintf("  w%02d [%5.0f,%5.0f) n=%3d usm=%+.3f\n",
+			i, float64(i)*windowWidth, float64(i+1)*windowWidth, c.Total(), c.USM(chaosWeights))
+	}
+	return out
+}
+
+// baseline averages the per-window USM over the settled pre-fault windows.
+func baseline(tb testing.TB, windows []usm.Counts, faultStart float64) float64 {
+	tb.Helper()
+	end := int(faultStart / windowWidth)
+	sum, n := 0.0, 0
+	for i := warmupWindows; i < end && i < len(windows); i++ {
+		if windows[i].Total() < minWindowSamples {
+			continue
+		}
+		sum += windows[i].USM(chaosWeights)
+		n++
+	}
+	if n == 0 {
+		tb.Fatalf("no settled pre-fault windows before t=%v:\n%s", faultStart, dumpWindows(windows))
+	}
+	return sum / float64(n)
+}
+
+// assertDipAndRecovery pins the shape the paper's adaptivity claim
+// predicts: the windowed USM dips by at least minDip while the fault (or
+// its immediate aftermath) is in effect and returns to within
+// recoveryTol·Range of the pre-fault baseline within recoveryWindows
+// windows of the fault ending. It returns the number of windows recovery
+// took.
+func assertDipAndRecovery(t *testing.T, windows []usm.Counts, faultStart, faultEnd, minDip float64) int {
+	t.Helper()
+	base := baseline(t, windows, faultStart)
+	tol := recoveryTol * chaosWeights.Range()
+
+	// Dip: some window overlapping [faultStart, faultEnd+windowWidth) must
+	// sit at least minDip below baseline (the extra window catches faults
+	// whose damage lands at release time, e.g. an arrival stall's herd).
+	dipLo, dipHi := int(faultStart/windowWidth), int((faultEnd)/windowWidth)+1
+	worst, worstOK := 0.0, false
+	for i := dipLo; i <= dipHi && i < len(windows); i++ {
+		if windows[i].Total() < minWindowSamples {
+			continue
+		}
+		if u := windows[i].USM(chaosWeights); !worstOK || u < worst {
+			worst, worstOK = u, true
+		}
+	}
+	if !worstOK {
+		t.Fatalf("no populated window during fault [%v,%v):\n%s", faultStart, faultEnd, dumpWindows(windows))
+	}
+	if worst > base-minDip {
+		t.Errorf("fault did not bite: worst in-fault window USM %.3f vs baseline %.3f (want dip ≥ %.3f)\n%s",
+			worst, base, minDip, dumpWindows(windows))
+	}
+
+	// Recovery: within recoveryWindows windows after the fault ends, the
+	// windowed USM must be back within tol of baseline.
+	first := dipHi
+	for k := 0; k < recoveryWindows; k++ {
+		i := first + k
+		if i >= len(windows) {
+			break
+		}
+		if windows[i].Total() < minWindowSamples {
+			continue
+		}
+		if windows[i].USM(chaosWeights) >= base-tol {
+			return k
+		}
+	}
+	t.Fatalf("USM did not recover to %.3f−%.3f within %d windows of fault end %v:\n%s",
+		base, tol, recoveryWindows, faultEnd, dumpWindows(windows))
+	return -1
+}
+
+// builtinSchedules are the fault scenarios the chaos suite pins, keyed for
+// stable iteration.
+func builtinSchedules() []struct {
+	name  string
+	sched *faults.Schedule
+} {
+	return []struct {
+		name  string
+		sched *faults.Schedule
+	}{
+		{"feed-outage", faults.MustSchedule(faults.FeedOutage(1200, 1500))},
+		{"item-blackout", faults.MustSchedule(faults.ItemBlackout(1200, 1500, 0, 1, 2, 3, 4, 5, 6, 7))},
+		{"update-burst", faults.MustSchedule(faults.UpdateBurst(1200, 1500, 4))},
+		{"cpu-slowdown", faults.MustSchedule(faults.CPUSlowdown(1200, 1400, 3))},
+		{"arrival-stall", faults.MustSchedule(faults.ArrivalStall(1200, 1350))},
+		{"composite", faults.MustSchedule(
+			faults.FeedOutage(900, 1000),
+			faults.CPUSlowdown(1300, 1400, 2),
+			faults.UpdateBurst(1700, 1800, 3),
+		)},
+	}
+}
+
+func TestChaosFeedOutageRecovery(t *testing.T) {
+	pol, res, counts := runChaos(t, faults.MustSchedule(faults.FeedOutage(1200, 1500)), 7, 11)
+	if res.UpdatesLost == 0 || res.UpdatesLost != counts.UpdatesBlocked {
+		t.Fatalf("UpdatesLost=%d injector blocked=%d; accounting disagrees", res.UpdatesLost, counts.UpdatesBlocked)
+	}
+	k := assertDipAndRecovery(t, pol.windows, 1200, 1500, 0.05)
+	t.Logf("outage: %d deliveries lost, recovered in %d windows", res.UpdatesLost, k)
+}
+
+func TestChaosItemBlackoutRecovery(t *testing.T) {
+	hot := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	pol, res, counts := runChaos(t, faults.MustSchedule(faults.ItemBlackout(1200, 1500, hot...)), 7, 11)
+	if res.UpdatesLost == 0 || res.UpdatesLost != counts.UpdatesBlocked {
+		t.Fatalf("UpdatesLost=%d injector blocked=%d", res.UpdatesLost, counts.UpdatesBlocked)
+	}
+	// A blackout of 8 of 64 uniform feeds must lose far fewer deliveries
+	// than a whole-feed outage of the same window.
+	_, full, _ := runChaos(t, faults.MustSchedule(faults.FeedOutage(1200, 1500)), 7, 11)
+	if res.UpdatesLost*4 > full.UpdatesLost {
+		t.Fatalf("blackout lost %d deliveries vs %d for the full outage; scoping is broken",
+			res.UpdatesLost, full.UpdatesLost)
+	}
+	k := assertDipAndRecovery(t, pol.windows, 1200, 1500, 0.005)
+	t.Logf("blackout: %d deliveries lost, recovered in %d windows", res.UpdatesLost, k)
+}
+
+func TestChaosUpdateBurstRecovery(t *testing.T) {
+	pol, res, _ := runChaos(t, faults.MustSchedule(faults.UpdateBurst(1200, 1500, 4)), 7, 11)
+	if res.UpdatesLost != 0 {
+		t.Fatalf("burst lost %d deliveries; bursts add arrivals, not losses", res.UpdatesLost)
+	}
+	k := assertDipAndRecovery(t, pol.windows, 1200, 1500, 0.02)
+	t.Logf("burst: %d updates dropped (UFM absorbing the burst), recovered in %d windows", res.UpdatesDropped, k)
+}
+
+func TestChaosCPUSlowdownRecovery(t *testing.T) {
+	pol, _, counts := runChaos(t, faults.MustSchedule(faults.CPUSlowdown(1200, 1400, 3)), 7, 11)
+	if counts.ExecInflations == 0 {
+		t.Fatal("slowdown inflated nothing")
+	}
+	k := assertDipAndRecovery(t, pol.windows, 1200, 1400, 0.05)
+	t.Logf("slowdown: %d demands inflated, recovered in %d windows", counts.ExecInflations, k)
+}
+
+func TestChaosArrivalStallRecovery(t *testing.T) {
+	pol, res, counts := runChaos(t, faults.MustSchedule(faults.ArrivalStall(1200, 1350)), 7, 11)
+	if res.QueriesStalled == 0 || res.QueriesStalled != counts.QueriesStalled {
+		t.Fatalf("QueriesStalled=%d injector stalled=%d", res.QueriesStalled, counts.QueriesStalled)
+	}
+	k := assertDipAndRecovery(t, pol.windows, 1200, 1350, 0.02)
+	t.Logf("stall: %d arrivals held, recovered in %d windows", res.QueriesStalled, k)
+}
+
+// TestChaosDeterministicReplay pins the determinism contract for every
+// built-in schedule: same seeds → identical results and per-query outcome
+// traces; a different engine seed must diverge.
+func TestChaosDeterministicReplay(t *testing.T) {
+	scheds := builtinSchedules()
+	if testing.Short() {
+		scheds = scheds[:2]
+	}
+	for _, sc := range scheds {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			p1, r1, c1 := runChaos(t, sc.sched, 7, 11)
+			p2, r2, c2 := runChaos(t, sc.sched, 7, 11)
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("same-seed results diverge:\n  %v\n  %v", r1, r2)
+			}
+			if !reflect.DeepEqual(p1.trace, p2.trace) {
+				t.Errorf("same-seed outcome traces diverge (%d vs %d entries)", len(p1.trace), len(p2.trace))
+			}
+			if c1 != c2 {
+				t.Errorf("same-seed injection counts diverge: %+v vs %+v", c1, c2)
+			}
+			p3, _, _ := runChaos(t, sc.sched, 7, 12)
+			if reflect.DeepEqual(p1.trace, p3.trace) {
+				t.Errorf("engine seeds 11 and 12 replayed identical traces under %s; seed is not flowing", sc.name)
+			}
+		})
+	}
+}
+
+// TestChaosUndisturbedBitwiseUnchanged guards the nil fast path: an engine
+// with a nil Disturbance and one with an empty schedule must replay the
+// undisturbed run bit for bit.
+func TestChaosUndisturbedBitwiseUnchanged(t *testing.T) {
+	runWith := func(d engine.Disturbance) (*engine.Results, []string) {
+		pcfg := core.DefaultConfig(chaosWeights)
+		pcfg.Seed = 7
+		pol := &windowedPolicy{Policy: core.New(pcfg)}
+		cfg := engine.NewConfig(chaosWorkload(), chaosWeights, 11)
+		cfg.Disturbance = d
+		e, err := engine.New(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, pol.trace
+	}
+	rNil, tNil := runWith(nil)
+	rEmpty, tEmpty := runWith(faults.NewInjector(nil))
+	if !reflect.DeepEqual(rNil, rEmpty) || !reflect.DeepEqual(tNil, tEmpty) {
+		t.Fatal("empty fault schedule perturbed the run")
+	}
+	if rNil.UpdatesLost != 0 || rNil.QueriesStalled != 0 {
+		t.Fatalf("undisturbed run reported disturbances: %+v", rNil)
+	}
+}
+
+// TestChaosWindowCoverage sanity-checks the harness itself: window tallies
+// must account for every finalized query exactly once.
+func TestChaosWindowCoverage(t *testing.T) {
+	pol, res, _ := runChaos(t, faults.MustSchedule(faults.FeedOutage(1200, 1500)), 7, 11)
+	var sum usm.Counts
+	for _, w := range pol.windows {
+		sum.Add(w)
+	}
+	if sum != res.Counts {
+		t.Fatalf("window tallies %+v != run counts %+v", sum, res.Counts)
+	}
+	if len(pol.trace) != res.Counts.Total() {
+		t.Fatalf("trace has %d entries, run finalized %d queries", len(pol.trace), res.Counts.Total())
+	}
+	ids := append([]string(nil), pol.trace...)
+	sort.Strings(ids)
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			t.Fatalf("query finalized twice: %s", ids[i])
+		}
+	}
+}

@@ -35,6 +35,7 @@ var CorePrefixes = []string{
 	"unitdb/internal/baseline",
 	"unitdb/internal/datastore",
 	"unitdb/internal/experiments",
+	"unitdb/internal/faults",
 	"unitdb/internal/freshness",
 	"unitdb/internal/lockmgr",
 	"unitdb/internal/lottery",

@@ -8,30 +8,126 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"unitdb/internal/stats"
 )
 
 // Client is a typed HTTP client for the live server's API, used by the
 // load-generator tool and by applications that talk to a remote unitd.
+//
+// With WithRetry, Query transparently retries transient failures —
+// network errors and 429 rejections (honoring the server's Retry-After
+// hint). Update is a non-idempotent write and is NEVER retried: a retry
+// after an ambiguous network failure could apply the same feed delivery
+// twice.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *retryPolicy // nil = no retries
+}
+
+// retryPolicy is seeded exponential backoff with full jitter.
+type retryPolicy struct {
+	max   int           // retry attempts after the first try
+	base  time.Duration // first backoff ceiling; doubles per attempt
+	cap   time.Duration // backoff ceiling
+	sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *stats.RNG // guarded by mu
+}
+
+// delay draws the pause before retry attempt n (0-based). A positive
+// server hint (Retry-After) overrides the jittered draw.
+func (p *retryPolicy) delay(n int, hint time.Duration) time.Duration {
+	if hint > 0 {
+		if hint > p.cap {
+			hint = p.cap
+		}
+		return hint
+	}
+	ceil := p.base << n
+	if ceil > p.cap || ceil <= 0 {
+		ceil = p.cap
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Duration(p.rng.Float64() * float64(ceil))
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetry makes Query retry up to maxRetries times on network errors
+// and 429 rejections, sleeping a seeded exponentially-growing jittered
+// backoff (starting at baseDelay, capped at 30 s) between attempts; a
+// Retry-After hint from the server takes precedence over the drawn
+// delay. The seed makes a client's backoff sequence reproducible.
+// Update is never retried regardless of this option.
+func WithRetry(maxRetries int, baseDelay time.Duration, seed uint64) ClientOption {
+	return func(c *Client) {
+		if maxRetries <= 0 {
+			c.retry = nil
+			return
+		}
+		if baseDelay <= 0 {
+			baseDelay = 100 * time.Millisecond
+		}
+		c.retry = &retryPolicy{
+			max:   maxRetries,
+			base:  baseDelay,
+			cap:   30 * time.Second,
+			sleep: time.Sleep,
+			rng:   stats.NewRNG(seed),
+		}
+	}
 }
 
 // NewClient creates a client for the server at base (e.g.
 // "http://localhost:8080"). httpClient may be nil for a default with a
 // 30 s timeout.
-func NewClient(base string, httpClient *http.Client) *Client {
+func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	c := &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // Query submits a user query; the returned response carries the outcome
 // regardless of the HTTP status code (206/429/504 encode DSF, rejection
-// and DMF respectively).
+// and DMF respectively). Queries are idempotent reads, so with WithRetry
+// a network error or a 429 rejection is retried after a backoff pause.
 func (c *Client) Query(req QueryRequest) (QueryResponse, error) {
+	attempts := 1
+	if c.retry != nil {
+		attempts += c.retry.max
+	}
+	var (
+		out     QueryResponse
+		lastErr error
+	)
+	for attempt := 0; attempt < attempts; attempt++ {
+		var hint time.Duration
+		out, hint, lastErr = c.queryOnce(req)
+		retryable := lastErr != nil || out.Outcome == OutcomeRejected
+		if !retryable || attempt == attempts-1 {
+			break
+		}
+		c.retry.sleep(c.retry.delay(attempt, hint))
+	}
+	return out, lastErr
+}
+
+// queryOnce performs a single query attempt. hint carries the server's
+// Retry-After on a 429, 0 otherwise; a non-nil error means the attempt
+// never produced an outcome (network failure, malformed response).
+func (c *Client) queryOnce(req QueryRequest) (QueryResponse, time.Duration, error) {
 	items := make([]string, len(req.Items))
 	for i, it := range req.Items {
 		items[i] = strconv.Itoa(it)
@@ -49,7 +145,7 @@ func (c *Client) Query(req QueryRequest) (QueryResponse, error) {
 	}
 	resp, err := c.http.Get(c.base + "/query?" + v.Encode())
 	if err != nil {
-		return QueryResponse{}, err
+		return QueryResponse{}, 0, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -57,18 +153,24 @@ func (c *Client) Query(req QueryRequest) (QueryResponse, error) {
 		http.StatusTooManyRequests, http.StatusGatewayTimeout:
 		var out QueryResponse
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			return QueryResponse{}, fmt.Errorf("server: decode query response: %w", err)
+			return QueryResponse{}, 0, fmt.Errorf("server: decode query response: %w", err)
 		}
-		return out, nil
+		var hint time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			hint = time.Duration(secs) * time.Second
+		}
+		return out, hint, nil
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return QueryResponse{}, fmt.Errorf("server: query failed: %s: %s",
+		return QueryResponse{}, 0, fmt.Errorf("server: query failed: %s: %s",
 			resp.Status, strings.TrimSpace(string(body)))
 	}
 }
 
 // Update submits an update-feed write; it reports whether the server
-// applied it (false = dropped by modulation).
+// applied it (false = dropped by modulation). Updates are not idempotent
+// and are never retried, even under WithRetry: after an ambiguous failure
+// a retry could deliver the same write twice.
 func (c *Client) Update(req UpdateRequest) (bool, error) {
 	v := url.Values{}
 	v.Set("item", strconv.Itoa(req.Item))

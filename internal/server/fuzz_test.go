@@ -1,0 +1,105 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseItems hammers the items-list parser with arbitrary input. The
+// parser must never panic, and every accepted list must satisfy the input
+// contract: 1..MaxQueryItems non-negative ids with no duplicates.
+func FuzzParseItems(f *testing.F) {
+	for _, seed := range []string{
+		"", "1", "1,2,3", "1, 2,3", "a", "1,,2", "-1", "4,1,4",
+		"9999999999999999999999", "0," + strings.Repeat("1,", 100) + "2",
+		",", "1,2,", " 7 ", "+3", "0x10",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		items, err := parseItems(raw)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("error with empty message")
+			}
+			return
+		}
+		if len(items) == 0 || len(items) > MaxQueryItems {
+			t.Fatalf("accepted %d items from %q", len(items), raw)
+		}
+		seen := make(map[int]bool, len(items))
+		for _, it := range items {
+			if it < 0 {
+				t.Fatalf("accepted negative item %d from %q", it, raw)
+			}
+			if seen[it] {
+				t.Fatalf("accepted duplicate item %d from %q", it, raw)
+			}
+			seen[it] = true
+		}
+	})
+}
+
+// FuzzQueryHandler drives the full HTTP query path with arbitrary query
+// strings. Whatever the input, the handler must not panic and must answer
+// with a status from the documented set. Query/update work is a no-op so
+// fuzz-chosen work/deadline values cannot stall the run.
+func FuzzQueryHandler(f *testing.F) {
+	cfg := DefaultConfig()
+	cfg.NumItems = 16
+	cfg.Workers = 2
+	cfg.QueryWork = func(QueryRequest) {}
+	cfg.UpdateWork = func(UpdateRequest) {}
+	s, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+	handler := s.Handler()
+
+	for _, seed := range []string{
+		"items=1",
+		"items=1,2&deadline=100ms&work=1ms&freshness=0.9",
+		"items=",
+		"items=abc",
+		"items=-1",
+		"items=1&deadline=-1s",
+		"items=1&freshness=NaN",
+		"items=1&freshness=1e309",
+		"items=1&deadline=999999h&work=999999h",
+		"items=1&deadline=100ms&extra=junk&freshness=0.5",
+	} {
+		f.Add(seed)
+	}
+	allowed := map[int]bool{
+		http.StatusOK:              true,
+		http.StatusPartialContent:  true,
+		http.StatusBadRequest:      true,
+		http.StatusTooManyRequests: true,
+		http.StatusGatewayTimeout:  true,
+		statusClientClosedRequest:  true,
+	}
+	f.Fuzz(func(t *testing.T, rawQuery string) {
+		req := httptest.NewRequest("GET", "/query", nil)
+		req.URL.RawQuery = rawQuery
+		// Cap each request: fuzz inputs must not pick deadlines that make
+		// the handler block the worker pool for the whole run.
+		rec := httptest.NewRecorder()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			handler.ServeHTTP(rec, req)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("handler stalled on query %q", rawQuery)
+		}
+		if !allowed[rec.Code] {
+			t.Fatalf("query %q answered status %d, outside the documented set", rawQuery, rec.Code)
+		}
+	})
+}

@@ -2,11 +2,22 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// MaxQueryItems bounds the items list a single query may name. Larger
+// lists are rejected before any parsing work is spent on them.
+const MaxQueryItems = 64
+
+// statusClientClosedRequest reports a query abandoned because its client
+// disconnected (nginx's 499 convention; no standard code exists). The
+// response is written for symmetry only — the client is gone.
+const statusClientClosedRequest = 499
 
 // Handler returns the HTTP interface of the live server:
 //
@@ -16,8 +27,8 @@ import (
 //	GET  /healthz
 //
 // Outcomes map to status codes: success 200, data-stale 206 (the result is
-// returned with a staleness notice, paper §3.1), rejected 429,
-// deadline-missed 504.
+// returned with a staleness notice, paper §3.1), rejected 429 with a
+// Retry-After estimate, deadline-missed 504, canceled 499.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -30,6 +41,10 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	items, err := parseItems(r.URL.Query().Get("items"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -40,28 +55,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad deadline: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if deadline < 0 {
+		http.Error(w, "bad deadline: must not be negative", http.StatusBadRequest)
+		return
+	}
 	work, err := parseDurationDefault(r.URL.Query().Get("work"), 0)
 	if err != nil {
 		http.Error(w, "bad work: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if work < 0 {
+		http.Error(w, "bad work: must not be negative", http.StatusBadRequest)
+		return
+	}
 	fresh := 0.0
 	if f := r.URL.Query().Get("freshness"); f != "" {
 		fresh, err = strconv.ParseFloat(f, 64)
-		if err != nil || fresh <= 0 || fresh > 1 {
-			http.Error(w, "bad freshness", http.StatusBadRequest)
+		if err != nil || math.IsNaN(fresh) || fresh <= 0 || fresh > 1 {
+			http.Error(w, "bad freshness: must be in (0, 1]", http.StatusBadRequest)
 			return
 		}
 	}
-	resp := s.Query(QueryRequest{Items: items, Deadline: deadline, Work: work, Freshness: fresh})
+	resp := s.QueryCtx(r.Context(), QueryRequest{Items: items, Deadline: deadline, Work: work, Freshness: fresh})
 	code := http.StatusOK
 	switch resp.Outcome {
 	case OutcomeRejected:
 		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds())))
 	case OutcomeDMF:
 		code = http.StatusGatewayTimeout
 	case OutcomeDSF:
 		code = http.StatusPartialContent
+	case OutcomeCanceled:
+		code = statusClientClosedRequest
 	}
 	writeJSON(w, code, resp)
 }
@@ -73,17 +99,25 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	item, err := strconv.Atoi(r.URL.Query().Get("item"))
 	if err != nil {
-		http.Error(w, "bad item", http.StatusBadRequest)
+		http.Error(w, "bad item: must be an integer id", http.StatusBadRequest)
+		return
+	}
+	if item < 0 {
+		http.Error(w, "bad item: must not be negative", http.StatusBadRequest)
 		return
 	}
 	value, err := strconv.ParseFloat(r.URL.Query().Get("value"), 64)
 	if err != nil {
-		http.Error(w, "bad value", http.StatusBadRequest)
+		http.Error(w, "bad value: must be a number", http.StatusBadRequest)
 		return
 	}
 	work, err := parseDurationDefault(r.URL.Query().Get("work"), 0)
 	if err != nil {
 		http.Error(w, "bad work: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if work < 0 {
+		http.Error(w, "bad work: must not be negative", http.StatusBadRequest)
 		return
 	}
 	applied, err := s.Update(UpdateRequest{Item: item, Value: value, Work: work})
@@ -94,31 +128,44 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"applied": applied})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// parseItems parses a comma-separated item-id list, enforcing the input
+// contract: non-empty, at most MaxQueryItems entries, every id a
+// non-negative integer, no duplicates. Range against the server's data-set
+// size is checked later by Query, which knows NumItems.
 func parseItems(raw string) ([]int, error) {
 	if raw == "" {
-		return nil, errBadItems
+		return nil, fmt.Errorf("items must be a comma-separated list of item ids")
 	}
 	parts := strings.Split(raw, ",")
+	if len(parts) > MaxQueryItems {
+		return nil, fmt.Errorf("too many items: %d exceeds the limit of %d", len(parts), MaxQueryItems)
+	}
 	items := make([]int, 0, len(parts))
+	seen := make(map[int]bool, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return nil, errBadItems
+			return nil, fmt.Errorf("bad item %q: must be an integer id", p)
 		}
+		if v < 0 {
+			return nil, fmt.Errorf("bad item %d: must not be negative", v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("duplicate item %d", v)
+		}
+		seen[v] = true
 		items = append(items, v)
 	}
 	return items, nil
 }
-
-var errBadItems = &badRequestError{"items must be a comma-separated list of item ids"}
-
-type badRequestError struct{ msg string }
-
-func (e *badRequestError) Error() string { return e.msg }
 
 func parseDurationDefault(raw string, def time.Duration) (time.Duration, error) {
 	if raw == "" {

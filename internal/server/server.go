@@ -15,6 +15,7 @@ package server
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -54,6 +55,13 @@ type Config struct {
 	DefaultFreshness float64
 	// Seed drives the lottery.
 	Seed uint64
+	// QueryWork performs a query's computation; nil sleeps for the
+	// request's Work duration. Embedders substitute real computation, and
+	// chaos tests substitute panics and stalls.
+	QueryWork func(QueryRequest)
+	// UpdateWork performs an update refresh's computation; nil sleeps for
+	// the request's Work duration.
+	UpdateWork func(UpdateRequest)
 }
 
 // DefaultConfig returns a small live-server configuration.
@@ -79,6 +87,11 @@ const (
 	OutcomeRejected Outcome = "rejected"
 	OutcomeDMF      Outcome = "deadline-missed"
 	OutcomeDSF      Outcome = "data-stale"
+	// OutcomeCanceled marks a query abandoned because its client went away
+	// (request context canceled). The user is no longer there to be
+	// satisfied or disappointed, so cancellations are tallied separately
+	// and never enter the USM.
+	OutcomeCanceled Outcome = "canceled"
 )
 
 // QueryRequest is a user query presented to the live server.
@@ -114,10 +127,17 @@ type Stats struct {
 	UpdatesDropped int        `json:"updates_dropped"`
 	QueueLength    int        `json:"queue_length"`
 	StaleItems     int        `json:"stale_items"`
+	// Resilience counters (PR 2): outcomes of the failure paths the
+	// graceful-degradation machinery handles.
+	QueriesShed     int `json:"queries_shed"`     // rejected by the MaxQueue backstop
+	QueriesPanicked int `json:"queries_panicked"` // work panicked; recorded as DMF, worker survived
+	QueriesCanceled int `json:"queries_canceled"` // client gone; abandoned before burning a worker
+	QueriesDrained  int `json:"queries_drained"`  // queued at shutdown; resolved as rejections
 }
 
 type liveQuery struct {
 	req   QueryRequest
+	ctx   context.Context
 	tx    *txn.Txn
 	done  chan QueryResponse
 	index int
@@ -186,6 +206,11 @@ type Server struct {
 	updatesDropped int   // guarded by mu
 	nextID         int64 // guarded by mu
 
+	shed     int // guarded by mu; rejected by the MaxQueue backstop
+	panicked int // guarded by mu; query/update work that panicked
+	canceled int // guarded by mu; abandoned after client disconnect
+	drained  int // guarded by mu; queued queries rejected at shutdown
+
 	closed bool // guarded by mu
 	wg     sync.WaitGroup
 	stopCh chan struct{}
@@ -216,6 +241,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DefaultFreshness <= 0 || cfg.DefaultFreshness > 1 {
 		cfg.DefaultFreshness = 0.9
+	}
+	if cfg.QueryWork == nil {
+		cfg.QueryWork = func(req QueryRequest) {
+			if req.Work > 0 {
+				time.Sleep(req.Work)
+			}
+		}
+	}
+	if cfg.UpdateWork == nil {
+		cfg.UpdateWork = func(req UpdateRequest) {
+			if req.Work > 0 {
+				time.Sleep(req.Work)
+			}
+		}
 	}
 	if err := cfg.Weights.Validate(); err != nil {
 		return nil, err
@@ -253,7 +292,11 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the worker pool and control loop, failing queued queries.
+// Close gracefully stops the server: in-flight queries run to completion
+// (workers drain), queued-but-unstarted queries resolve as rejections (the
+// drained counter tallies them — never a silent drop), and the control
+// loop halts. Close blocks until every worker goroutine has exited; it is
+// idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -263,6 +306,8 @@ func (s *Server) Close() {
 	s.closed = true
 	close(s.stopCh)
 	for _, q := range s.queue {
+		s.drained++
+		s.finalizeLocked(q.tx, txn.OutcomeRejected)
 		q.done <- QueryResponse{Outcome: OutcomeRejected}
 	}
 	s.queue = nil
@@ -288,6 +333,14 @@ func (v queueView) QueuedQueries() []*txn.Txn { return v.queued }
 // Query submits a user query and blocks until it resolves (success, any
 // failure, or its own deadline).
 func (s *Server) Query(req QueryRequest) QueryResponse {
+	return s.QueryCtx(context.Background(), req)
+}
+
+// QueryCtx is Query bound to a client context: when ctx is canceled
+// (client disconnect) a still-queued query is removed before it ever
+// occupies a worker and resolves as OutcomeCanceled; a query already
+// executing runs to its verdict (the worker's CPU is already spent).
+func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 	started := time.Now()
 	if req.Freshness <= 0 {
 		req.Freshness = s.cfg.DefaultFreshness
@@ -313,29 +366,58 @@ func (s *Server) Query(req QueryRequest) QueryResponse {
 	for _, q := range s.queue {
 		view.queued = append(view.queued, q.tx)
 	}
-	overflow := len(s.queue) >= s.cfg.MaxQueue
-	if overflow || s.ac.Admit(now, tx, view) != admission.Admitted {
+	if len(s.queue) >= s.cfg.MaxQueue {
+		// Overload backstop, distinct from the algorithm's admission gate.
+		s.shed++
 		s.finalizeLocked(tx, txn.OutcomeRejected)
 		s.mu.Unlock()
 		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
 	}
-	q := &liveQuery{req: req, tx: tx, done: make(chan QueryResponse, 1)}
+	if s.ac.Admit(now, tx, view) != admission.Admitted {
+		s.finalizeLocked(tx, txn.OutcomeRejected)
+		s.mu.Unlock()
+		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
+	}
+	q := &liveQuery{req: req, ctx: ctx, tx: tx, done: make(chan QueryResponse, 1)}
 	heap.Push(&s.queue, q)
 	s.backlog += req.Work.Seconds()
 	s.cond.Signal()
 	s.mu.Unlock()
 
+	// dequeue removes q when it is still queued; ok=false means a worker
+	// got to it first (or shutdown drained it) and its verdict is coming.
+	dequeue := func() bool {
+		if q.index >= 0 && q.index < len(s.queue) && s.queue[q.index] == q {
+			heap.Remove(&s.queue, q.index)
+			s.backlog -= q.req.Work.Seconds()
+			return true
+		}
+		return false
+	}
+
 	select {
 	case resp := <-q.done:
+		resp.Latency = time.Since(started)
+		return resp
+	case <-ctx.Done():
+		// Client disconnected: abandon a queued query before it burns CPU.
+		s.mu.Lock()
+		if dequeue() {
+			// The user is gone: nothing enters the USM accountant, the
+			// cancellation is only tallied.
+			s.canceled++
+			s.mu.Unlock()
+			return QueryResponse{Outcome: OutcomeCanceled, Latency: time.Since(started)}
+		}
+		s.mu.Unlock()
+		resp := <-q.done
 		resp.Latency = time.Since(started)
 		return resp
 	case <-time.After(req.Deadline):
 		// Firm deadline: abort wherever the query is. A worker may resolve
 		// it concurrently; whoever finalizes first wins.
 		s.mu.Lock()
-		if q.index >= 0 && q.index < len(s.queue) && s.queue[q.index] == q {
-			heap.Remove(&s.queue, q.index)
-			s.backlog -= q.req.Work.Seconds()
+		if dequeue() {
 			s.finalizeLocked(tx, txn.OutcomeDMF)
 			s.mu.Unlock()
 			return QueryResponse{Outcome: OutcomeDMF, Latency: time.Since(started)}
@@ -388,8 +470,14 @@ func (s *Server) Update(req UpdateRequest) (bool, error) {
 	s.lastApplied[req.Item] = now
 	s.mu.Unlock()
 
-	if req.Work > 0 {
-		time.Sleep(req.Work) // the refresh computation
+	if !s.runUpdateWork(req) {
+		// The refresh computation panicked: the delivery is lost, so the
+		// stored copy ages exactly as if the feed had dropped it.
+		s.mu.Lock()
+		s.store.DropUpdate(req.Item)
+		s.panicked++
+		s.mu.Unlock()
+		return false, fmt.Errorf("server: refresh for item %d panicked", req.Item)
 	}
 
 	s.mu.Lock()
@@ -397,6 +485,18 @@ func (s *Server) Update(req UpdateRequest) (bool, error) {
 	s.updatesApplied++
 	s.mu.Unlock()
 	return true, nil
+}
+
+// runUpdateWork executes a refresh's computation with panic containment;
+// it reports whether the work completed.
+func (s *Server) runUpdateWork(req UpdateRequest) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	s.cfg.UpdateWork(req)
+	return true
 }
 
 // Stats returns a snapshot of the server's accounting.
@@ -413,7 +513,29 @@ func (s *Server) Stats() Stats {
 		UpdatesDropped: s.updatesDropped,
 		QueueLength:    len(s.queue),
 		StaleItems:     s.store.StaleItems(),
+
+		QueriesShed:     s.shed,
+		QueriesPanicked: s.panicked,
+		QueriesCanceled: s.canceled,
+		QueriesDrained:  s.drained,
 	}
+}
+
+// RetryAfter estimates how long a rejected client should wait before
+// retrying: the queued work spread across the pool, clamped to [1s, 30s].
+// The HTTP layer advertises it on 429 responses.
+func (s *Server) RetryAfter() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := s.backlog / float64(s.cfg.Workers)
+	d := time.Duration(math.Ceil(per)) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 func (s *Server) finalizeLocked(tx *txn.Txn, o txn.Outcome) {
@@ -438,6 +560,14 @@ func (s *Server) worker() {
 		}
 		q := heap.Pop(&s.queue).(*liveQuery)
 		s.backlog -= q.req.Work.Seconds()
+		if q.ctx != nil && q.ctx.Err() != nil {
+			// Client already gone: a canceled query never occupies the
+			// worker and never enters the USM.
+			s.canceled++
+			s.mu.Unlock()
+			q.done <- QueryResponse{Outcome: OutcomeCanceled}
+			continue
+		}
 		now := s.now()
 		if now >= q.tx.Deadline {
 			s.finalizeLocked(q.tx, txn.OutcomeDMF)
@@ -456,12 +586,21 @@ func (s *Server) worker() {
 		s.running += q.req.Work.Seconds()
 		s.mu.Unlock()
 
-		if q.req.Work > 0 {
-			time.Sleep(q.req.Work) // the query computation
-		}
+		completed := s.runQueryWork(q.req)
 
 		s.mu.Lock()
 		s.running -= q.req.Work.Seconds()
+		if !completed {
+			// The query's computation panicked. The user's deadline is as
+			// missed as if the work had timed out, so it records as DMF —
+			// and the recover above means this worker keeps serving; the
+			// pool never shrinks.
+			s.panicked++
+			s.finalizeLocked(q.tx, txn.OutcomeDMF)
+			s.mu.Unlock()
+			q.done <- QueryResponse{Outcome: OutcomeDMF}
+			continue
+		}
 		outcome := txn.OutcomeSuccess
 		resp := QueryResponse{Outcome: OutcomeSuccess, Values: values, Freshness: fresh}
 		switch {
@@ -476,6 +615,18 @@ func (s *Server) worker() {
 		s.mu.Unlock()
 		q.done <- resp
 	}
+}
+
+// runQueryWork executes a query's computation with panic containment; it
+// reports whether the work completed (false = panicked).
+func (s *Server) runQueryWork(req QueryRequest) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	s.cfg.QueryWork(req)
+	return true
 }
 
 // controlLoop runs the LBC on the wall clock.

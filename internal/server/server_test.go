@@ -327,7 +327,7 @@ func TestParseItems(t *testing.T) {
 			t.Errorf("parseItems(%q) accepted", bad)
 		}
 	}
-	if !strings.Contains(errBadItems.Error(), "items") {
-		t.Fatal("error message")
+	if _, err := parseItems(""); err == nil || !strings.Contains(err.Error(), "items") {
+		t.Fatalf("error message: %v", err)
 	}
 }
