@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet unitlint chaos fuzz ci
+.PHONY: all build test race lint vet unitlint lint-baseline chaos fuzz ci
 
 all: build
 
@@ -18,9 +18,23 @@ race:
 vet:
 	$(GO) vet ./...
 
-# unitlint enforces the determinism/concurrency invariants: detclock,
-# seededrand, guardedby, usmrange (see cmd/unitlint -help).
+# unitlint enforces the determinism/concurrency invariants with seven
+# analyzers — detclock, seededrand, guardedby, usmrange, plus the
+# flow-sensitive locksafe, guardedflow, and outcomeonce (see
+# cmd/unitlint -help). Findings stream to lint.json (the CI artifact);
+# anything not in lint.baseline fails the run.
 unitlint:
+	$(GO) run ./cmd/unitlint -json ./... > lint.json; code=$$?; cat lint.json; exit $$code
+
+# Re-record the tolerated-findings baseline. An empty lint.baseline is
+# the healthy state: new findings should be fixed, not baselined.
+lint-baseline:
+	printf '%s\n' \
+	  '# unitlint tolerated-findings baseline (JSON lines, one finding per line;' \
+	  '# regenerate with make lint-baseline). Findings match by file, analyzer,' \
+	  '# and message - not line numbers, which drift. Empty is the healthy state:' \
+	  '# fix new findings instead of baselining them.' > lint.baseline
+	$(GO) run ./cmd/unitlint -json -baseline - ./... >> lint.baseline; \
 	$(GO) run ./cmd/unitlint ./...
 
 lint: vet unitlint

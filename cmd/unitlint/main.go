@@ -1,11 +1,25 @@
 // Command unitlint checks UNIT's determinism and concurrency invariants:
 //
-//	unitlint [-only detclock,seededrand,guardedby,usmrange] [packages]
+//	unitlint [-only locksafe,outcomeonce] [-json] [-baseline file] [packages]
 //
 // Patterns default to ./... and follow go-tool shape (./internal/...,
 // ./cmd/unitsim). Exit status is 0 when clean, 1 on findings, 2 on usage
-// or load errors. Suppress a deliberate violation with an inline
-// "//unitlint:ignore <analyzer>" comment on (or directly above) the line.
+// or load errors.
+//
+// -json streams findings as JSON lines ({"file","line","col","analyzer",
+// "message"}), the format CI archives and baselines use. A lint.baseline
+// file in the working directory is loaded automatically (disable with
+// -baseline -): baselined findings are tolerated, new ones fail the run,
+// and stale entries produce a warning. Regenerate with `make
+// lint-baseline`.
+//
+// Suppress a deliberate violation with a scoped, reasoned inline comment
+// on (or directly above) the line:
+//
+//	//unitlint:ignore <analyzer> -- <reason>
+//
+// Bare or unreasoned ignores suppress nothing and are findings
+// themselves (analyzer "ignore").
 //
 // Run `unitlint -help` for the analyzer list.
 package main
@@ -22,6 +36,8 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines")
+	baseline := flag.String("baseline", "", "baseline file of tolerated findings (default lint.baseline when present; - disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: unitlint [flags] [packages]\n\nAnalyzers:\n")
 		printAnalyzers(flag.CommandLine.Output())
@@ -39,7 +55,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	os.Exit(unitlint.Main(os.Stdout, dir, *only, flag.Args()))
+	opts := unitlint.Options{JSON: *jsonOut, Baseline: *baseline}
+	os.Exit(unitlint.Main(os.Stdout, dir, *only, opts, flag.Args()))
 }
 
 func printAnalyzers(w io.Writer) {

@@ -122,6 +122,14 @@ func NewConfig(w *workload.Workload, weights usm.Weights, seed uint64) Config {
 }
 
 // Engine runs one simulation.
+//
+// Concurrency: an Engine is single-goroutine by design — every field is
+// owned by the event loop inside Run, so there is deliberately no mutex
+// and no "guarded by" annotations here (locksafe and guardedflow have
+// nothing to check; determinism_test pins the absence of shared-state
+// races by replaying runs bit-for-bit). The live counterpart with real
+// goroutines is internal/server, where the same lifecycle runs under
+// Server.mu.
 type Engine struct {
 	cfg    Config
 	sim    *eventsim.Sim
@@ -335,6 +343,8 @@ func (e *Engine) queryArrival(idx int) {
 // The deadline anchors at presentation (the system clocks a query from
 // when it first sees it); a CPU slowdown inflates the actual demand while
 // the optimizer's estimate stays nominal.
+//
+//unitlint:outcome q
 func (e *Engine) presentQuery(spec workload.QuerySpec) {
 	e.nextID++
 	exec := spec.Exec
@@ -464,7 +474,6 @@ func (e *Engine) absorbLockResult(res lockmgr.Result, self *txn.Txn) {
 // back in contention (restart) when that still makes sense, otherwise
 // finalize it.
 func (e *Engine) handleAbort(v *txn.Txn) {
-	now := e.sim.Now()
 	if v == e.running {
 		// Defensive: dispatch preempts before lock requests, so the
 		// running transaction should never be a victim.
@@ -472,25 +481,38 @@ func (e *Engine) handleAbort(v *txn.Txn) {
 	} else {
 		e.ready.Remove(v) // no-op when v was lock-blocked
 	}
-	switch v.Class {
-	case txn.ClassUpdate:
-		if e.pendingUpdate[v.Item()] == v {
-			v.ResetForRestart()
-			e.restarts++
-			e.ready.Push(v)
-		}
-		// Otherwise a newer update superseded it while it waited: discard
-		// (the supersede already accounted the drop).
-	default:
-		if now+v.Exec >= v.Deadline {
-			// It cannot finish even if it restarts immediately.
-			e.finalizeQuery(v, txn.OutcomeDMF)
-			return
-		}
-		v.ResetForRestart()
-		e.restarts++
-		e.ready.Push(v)
+	if v.Class == txn.ClassUpdate {
+		e.restartAbortedUpdate(v)
+		return
 	}
+	e.resolveAbortedQuery(v)
+}
+
+// restartAbortedUpdate puts an aborted update back in contention, unless
+// a newer update superseded it while it waited — then it is discarded
+// (the supersede already accounted the drop).
+func (e *Engine) restartAbortedUpdate(u *txn.Txn) {
+	if e.pendingUpdate[u.Item()] != u {
+		return
+	}
+	u.ResetForRestart()
+	e.restarts++
+	e.ready.Push(u)
+}
+
+// resolveAbortedQuery restarts an aborted query while its deadline is
+// still reachable, and finalizes it DMF when it is not.
+//
+//unitlint:outcome v
+func (e *Engine) resolveAbortedQuery(v *txn.Txn) {
+	if e.sim.Now()+v.Exec >= v.Deadline {
+		// It cannot finish even if it restarts immediately.
+		e.finalizeQuery(v, txn.OutcomeDMF)
+		return
+	}
+	v.ResetForRestart()
+	e.restarts++
+	e.ready.Push(v)
 }
 
 func (e *Engine) start(t *txn.Txn) {
@@ -542,46 +564,64 @@ func (e *Engine) accountBusy(c txn.Class, dt float64) {
 
 // --- completion and deadlines ---
 
+// complete retires the running transaction's CPU accounting and routes
+// to the per-class completion path.
 func (e *Engine) complete(t *txn.Txn) {
 	elapsed := e.sim.Now() - e.runStart
 	e.accountBusy(t.Class, elapsed)
 	t.Remaining = 0
 	e.running = nil
 	e.runEvent = nil
-
 	if t.Class == txn.ClassUpdate {
-		item := t.Item()
-		e.store.ApplyUpdate(item, e.sim.Now(), e.sim.Now())
-		e.updatesApplied++
-		if e.pendingUpdate[item] == t {
-			delete(e.pendingUpdate, item)
-		}
-		e.policy.OnUpdateApplied(t)
-		res := e.locks.ReleaseAll(t)
-		e.absorbLockResult(res, t)
-		e.dispatch()
+		e.completeUpdate(t)
 		return
 	}
+	e.completeQuery(t)
+}
 
-	// Query commit: the freshness of what the query read (sampled at the
-	// start of its last attempt) against its requirement (Eq. 1).
-	fresh := t.ReadFreshness
-	for _, item := range t.Items {
-		e.store.RecordAccess(item)
+// completeUpdate installs a finished update into the store and retires
+// its pending-update slot.
+func (e *Engine) completeUpdate(u *txn.Txn) {
+	item := u.Item()
+	e.store.ApplyUpdate(item, e.sim.Now(), e.sim.Now())
+	e.updatesApplied++
+	if e.pendingUpdate[item] == u {
+		delete(e.pendingUpdate, item)
 	}
-	e.freshSum += fresh
-	e.latencySum += e.sim.Now() - t.Arrival
-	e.committed++
-	res := e.locks.ReleaseAll(t)
-	e.absorbLockResult(res, t)
-	outcome := txn.OutcomeSuccess
-	if fresh < t.FreshReq {
-		outcome = txn.OutcomeDSF
-	}
-	e.finalizeQuery(t, outcome)
+	e.policy.OnUpdateApplied(u)
+	res := e.locks.ReleaseAll(u)
+	e.absorbLockResult(res, u)
 	e.dispatch()
 }
 
+// completeQuery commits a finished query: the freshness of what it read
+// (sampled at the start of its last attempt) against its requirement
+// (Eq. 1) decides success vs DSF.
+//
+//unitlint:outcome q
+func (e *Engine) completeQuery(q *txn.Txn) {
+	fresh := q.ReadFreshness
+	for _, item := range q.Items {
+		e.store.RecordAccess(item)
+	}
+	e.freshSum += fresh
+	e.latencySum += e.sim.Now() - q.Arrival
+	e.committed++
+	res := e.locks.ReleaseAll(q)
+	e.absorbLockResult(res, q)
+	outcome := txn.OutcomeSuccess
+	if fresh < q.FreshReq {
+		outcome = txn.OutcomeDSF
+	}
+	e.finalizeQuery(q, outcome)
+	e.dispatch()
+}
+
+// queryDeadline fires at a query's absolute deadline: whatever is still
+// pending at that instant misses (DMF), wherever it sits — running,
+// queued, or lock-blocked.
+//
+//unitlint:outcome q
 func (e *Engine) queryDeadline(q *txn.Txn) {
 	if q.Outcome != txn.OutcomePending {
 		return
@@ -598,6 +638,11 @@ func (e *Engine) queryDeadline(q *txn.Txn) {
 	e.dispatch()
 }
 
+// finalizeQuery records a query's terminal outcome — the single point
+// where the USM conservation law (every admitted query ends in exactly
+// one of success/rejected/DMF/DSF) is enforced at run time.
+//
+//unitlint:outcome q
 func (e *Engine) finalizeQuery(q *txn.Txn, o txn.Outcome) {
 	if q.Outcome != txn.OutcomePending {
 		panic(fmt.Sprintf("engine: double finalize of %v", q))

@@ -23,7 +23,7 @@ type Counts struct {
 // wall-clock harnesses that probe it from another goroutine (the simulator
 // itself is single-threaded, where the lock is uncontended).
 type Injector struct {
-	sched *Schedule
+	sched *Schedule // immutable after NewInjector: read freely without mu
 
 	mu     sync.Mutex
 	counts Counts // guarded by mu

@@ -130,10 +130,15 @@ func FileFor(pkg *Package, pos token.Pos) *ast.File {
 	return nil
 }
 
-// Suppressed reports whether a diagnostic from analyzer name at line is
-// silenced by an inline "//unitlint:ignore <names>" comment on the same
-// line or the line immediately above. Names is a comma-separated analyzer
-// list; an empty list silences every analyzer.
+// Suppressed reports whether a diagnostic is silenced by a scoped inline
+// comment on the same line or the line immediately above:
+//
+//	//unitlint:ignore <analyzer>[,<analyzer>] -- <reason>
+//
+// Both the analyzer list and the reason are mandatory. A bare or
+// unreasoned ignore suppresses nothing — and BadIgnores turns it into a
+// finding of its own — so every escape hatch in the tree names what it
+// silences and says why.
 func Suppressed(pkg *Package, d Diagnostic) bool {
 	for _, f := range pkg.Files {
 		if pkg.Fset.Position(f.FileStart).Filename != d.Pos.Filename {
@@ -141,20 +146,16 @@ func Suppressed(pkg *Package, d Diagnostic) bool {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//unitlint:ignore")
-				if !ok {
+				ig, ok := parseIgnore(c.Text)
+				if !ok || ig.reason == "" {
 					continue
 				}
 				line := pkg.Fset.Position(c.Pos()).Line
 				if line != d.Pos.Line && line != d.Pos.Line-1 {
 					continue
 				}
-				names := strings.TrimSpace(text)
-				if names == "" {
-					return true
-				}
-				for _, n := range strings.Split(names, ",") {
-					if strings.TrimSpace(n) == d.Analyzer {
+				for _, n := range ig.names {
+					if n == d.Analyzer {
 						return true
 					}
 				}
@@ -162,4 +163,69 @@ func Suppressed(pkg *Package, d Diagnostic) bool {
 		}
 	}
 	return false
+}
+
+// ignoreComment is one parsed //unitlint:ignore comment; validation is
+// the caller's job.
+type ignoreComment struct {
+	names  []string // analyzers being silenced
+	reason string   // text after " -- "
+}
+
+// parseIgnore recognizes //unitlint:ignore comments. ok is false for
+// unrelated comments (including other unitlint: directives).
+func parseIgnore(text string) (ignoreComment, bool) {
+	rest, found := strings.CutPrefix(text, "//unitlint:ignore")
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return ignoreComment{}, false
+	}
+	namesPart, reason, _ := strings.Cut(rest, "--")
+	var ig ignoreComment
+	ig.reason = strings.TrimSpace(reason)
+	for _, n := range strings.Split(namesPart, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			ig.names = append(ig.names, n)
+		}
+	}
+	return ig, true
+}
+
+// BadIgnores audits every //unitlint:ignore comment in the package and
+// returns a diagnostic (analyzer name "ignore") for each malformed one:
+// missing the analyzer list, missing the "-- reason" tail, or naming an
+// analyzer that does not exist (known is the registry; nil skips that
+// check). Malformed ignores suppress nothing, so a typo would silently
+// re-enable a finding — this audit makes the mistake loud instead.
+func BadIgnores(pkg *Package, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(c *ast.Comment, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Analyzer: "ignore",
+			Pos:      pkg.Fset.Position(c.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ig, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case len(ig.names) == 0:
+					report(c, "ignore comment suppresses nothing: write //unitlint:ignore <analyzer> -- <reason>")
+				case ig.reason == "":
+					report(c, "ignore comment has no reason and suppresses nothing: append \" -- <why this violation is deliberate>\"")
+				default:
+					for _, n := range ig.names {
+						if known != nil && !known[n] {
+							report(c, "ignore comment names unknown analyzer %q", n)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
 }

@@ -1,0 +1,637 @@
+// Package cfg builds intraprocedural control-flow graphs from Go function
+// bodies, a stdlib-only miniature of golang.org/x/tools/go/cfg (the build
+// environment has no module proxy; see internal/lint/analysis for the
+// policy). The graph is the substrate for unitlint's flow-sensitive
+// analyzers: internal/lint/dataflow runs lattice transfer functions over
+// its blocks, and locksafe/guardedflow/outcomeonce interpret the nodes.
+//
+// A CFG is a list of basic blocks. Each block holds the AST nodes that
+// execute unconditionally once the block is entered, in execution order:
+// statements, plus the condition expressions of if/for/switch (a condition
+// is the last node of the block that tests it, and Block.Cond marks the
+// branch so edge-sensitive analyses can refine facts per outcome —
+// Succs[0] is the true edge, Succs[1] the false edge).
+//
+// Handled control flow: if/else chains, for (all three clauses), range,
+// switch (including fallthrough), type switch, select, labeled break and
+// continue, goto (forward and backward), defer (kept in the block as an
+// ordinary node — clients model deferred execution themselves), and
+// panic, which terminates its block abnormally (Block.Panic). Function
+// literals are NOT inlined: a FuncLit stays embedded in the statement
+// that mentions it, and clients analyze literal bodies as separate
+// functions (a closure runs at call time, not where it is written, so
+// splicing its body into the enclosing graph would be wrong).
+//
+// Two conveniences the x/tools package does not have, both for
+// internal/lint/outcomeonce: a synthetic RangeBind node marks the
+// per-iteration rebinding of a range loop's key/value variables at the
+// top of the loop body (so the rebind is observed on the body edge only,
+// never on the exit edge), and CFG.Loops records each loop's head block
+// and body blocks so clients can find retreating edges.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (entry is 0).
+	Index int
+	// Kind names the construct that created the block ("entry", "if.then",
+	// "for.body", ...), for debugging and golden tests.
+	Kind string
+	// Nodes are the statements and condition expressions of the block, in
+	// execution order.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs []*Block
+	Preds []*Block
+	// Cond is set when the block ends with a two-way test: Succs[0] is
+	// taken when Cond is true, Succs[1] when it is false. Range loop heads
+	// branch without a condition expression and leave Cond nil.
+	Cond ast.Expr
+	// Exits marks a block that ends the function normally: it ends with a
+	// return statement or falls off the end of the body.
+	Exits bool
+	// Panic marks a block terminated by a call to the panic builtin.
+	Panic bool
+}
+
+// Loop records one for/range loop: its head (the block deciding the next
+// iteration) and every block of its body, post statement included.
+type Loop struct {
+	Head *Block
+	// Body lists the blocks executed inside the loop (the head and the
+	// after-loop block are not body blocks).
+	Body []*Block
+}
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block; blocks other than the entry with no predecessors are
+// unreachable code.
+type CFG struct {
+	Blocks []*Block
+	Loops  []Loop
+}
+
+// RangeBind is a synthetic node marking the per-iteration rebinding of a
+// range loop's key/value variables. It is the first node of the loop body
+// block, so a forward analysis sees the rebind exactly when an iteration
+// starts — the loop's exit edge carries the state of the last completed
+// iteration, unrebound.
+type RangeBind struct {
+	Range *ast.RangeStmt
+}
+
+// Pos implements ast.Node.
+func (b *RangeBind) Pos() token.Pos { return b.Range.Pos() }
+
+// End implements ast.Node.
+func (b *RangeBind) End() token.Pos { return b.Range.X.End() }
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{g: &CFG{}, labels: map[string]*Block{}}
+	b.cur = b.newBlock("entry")
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.cur.Exits = true
+	}
+	return b.g
+}
+
+type target struct {
+	label     string
+	breaksTo  *Block
+	continues *Block // nil for switch/select targets
+}
+
+type builder struct {
+	g   *CFG
+	cur *Block // nil while control cannot reach the next statement
+
+	targets      []target
+	labels       map[string]*Block // label name → its block
+	pendingLabel string            // label of the labeled loop/switch being built
+	nextCase     *Block            // fallthrough target while building a case body
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// ensure returns the current block, starting an unreachable one if control
+// cannot reach this point (code after return/panic/goto).
+func (b *builder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	b.ensure().Nodes = append(b.ensure().Nodes, n)
+}
+
+// takeLabel consumes the pending label for the loop/switch being entered.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.BadStmt, *ast.EmptyStmt:
+		// no effect on the graph
+	case *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.AssignStmt,
+		*ast.GoStmt, *ast.DeferStmt:
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.ensure().Panic = true
+			b.cur = nil
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.ensure().Exits = true
+		b.cur = nil
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		b.add(s)
+	}
+}
+
+// isPanic reports whether e is a direct call to the panic builtin.
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	blk := b.labelBlock(s.Label.Name)
+	if b.cur != nil {
+		edge(b.cur, blk)
+	}
+	b.cur = blk
+	switch s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = s.Label.Name
+	}
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+// labelBlock returns (creating on first reference) the block a label names,
+// so forward gotos can target labels not yet built.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	from := b.ensure()
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findTarget(label, false); t != nil {
+			edge(from, t.breaksTo)
+		}
+	case token.CONTINUE:
+		if t := b.findTarget(label, true); t != nil {
+			edge(from, t.continues)
+		}
+	case token.GOTO:
+		edge(from, b.labelBlock(label))
+	case token.FALLTHROUGH:
+		if b.nextCase != nil {
+			edge(from, b.nextCase)
+		}
+	}
+	b.cur = nil
+}
+
+// findTarget resolves a break (needsContinue=false) or continue target,
+// innermost first; labeled branches match the labeled construct.
+func (b *builder) findTarget(label string, needsContinue bool) *target {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needsContinue && t.continues == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.ensure()
+	cond.Cond = s.Cond
+	then := b.newBlock("if.then")
+	edge(cond, then)
+
+	var after *Block
+	var elseB *Block
+	if s.Else != nil {
+		elseB = b.newBlock("if.else")
+		edge(cond, elseB)
+	} else {
+		after = b.newBlock("if.after")
+		edge(cond, after)
+	}
+
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	if s.Else != nil {
+		b.cur = elseB
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+
+	if after == nil && (thenEnd != nil || elseEnd != nil) {
+		after = b.newBlock("if.after")
+	}
+	if thenEnd != nil {
+		edge(thenEnd, after)
+	}
+	if elseEnd != nil {
+		edge(elseEnd, after)
+	}
+	b.cur = after // nil when both arms terminated and no after exists
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	if b.cur != nil {
+		edge(b.cur, head)
+	}
+	after := b.newBlock("for.after")
+	mark := len(b.g.Blocks)
+
+	var post *Block
+	continues := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		continues = post
+	}
+	body := b.newBlock("for.body")
+
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+		head.Cond = s.Cond
+		edge(head, body)
+		edge(head, after)
+	} else {
+		edge(head, body)
+	}
+
+	b.targets = append(b.targets, target{label: label, breaksTo: after, continues: continues})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		edge(b.cur, continues)
+	}
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		edge(post, head)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+
+	b.g.Loops = append(b.g.Loops, Loop{Head: head, Body: b.g.Blocks[mark:len(b.g.Blocks):len(b.g.Blocks)]})
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.add(s) // evaluates the range expression
+	head := b.newBlock("range.head")
+	if b.cur != nil {
+		edge(b.cur, head)
+	}
+	after := b.newBlock("range.after")
+	mark := len(b.g.Blocks)
+	body := b.newBlock("range.body")
+	edge(head, body)
+	edge(head, after)
+
+	b.targets = append(b.targets, target{label: label, breaksTo: after, continues: head})
+	b.cur = body
+	if s.Key != nil || s.Value != nil {
+		b.add(&RangeBind{Range: s})
+	}
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		edge(b.cur, head)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+
+	b.g.Loops = append(b.g.Loops, Loop{Head: head, Body: b.g.Blocks[mark:len(b.g.Blocks):len(b.g.Blocks)]})
+	b.cur = after
+}
+
+// switchStmt builds expression switches (tag != nil possible) and type
+// switches (assign != nil).
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.ensure()
+	after := b.newBlock("switch.after")
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		kind := "switch.case"
+		if c.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		edge(head, blocks[i])
+	}
+	if !hasDefault {
+		edge(head, after)
+	}
+
+	b.targets = append(b.targets, target{label: label, breaksTo: after})
+	for i, c := range clauses {
+		b.nextCase = nil
+		if i+1 < len(blocks) {
+			b.nextCase = blocks[i+1]
+		}
+		b.cur = blocks[i]
+		b.add(c)
+		b.stmtList(c.Body)
+		if b.cur != nil {
+			edge(b.cur, after)
+		}
+	}
+	b.nextCase = nil
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.ensure()
+	head.Nodes = append(head.Nodes, s)
+	after := b.newBlock("select.after")
+
+	b.targets = append(b.targets, target{label: label, breaksTo: after})
+	for _, c := range s.Body.List {
+		comm := c.(*ast.CommClause)
+		kind := "select.comm"
+		if comm.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		edge(head, blk)
+		b.cur = blk
+		b.add(comm)
+		b.stmtList(comm.Body)
+		if b.cur != nil {
+			edge(b.cur, after)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	// A select with no cases blocks forever; its head gets no other succs.
+	b.cur = after
+}
+
+// Walk visits the parts of a CFG node that execute within the node's own
+// block, in source order, calling fn for each (fn returning false prunes
+// that subtree). This is the traversal analyzers must use on Block.Nodes
+// instead of ast.Inspect: the builder stores a few composite statements
+// whole (a range statement, a select head, case/comm clauses) while their
+// bodies execute in other blocks — Inspect would double-count those — and
+// it also knows the synthetic RangeBind node, which Inspect panics on.
+// Function literals are surfaced (fn sees the *ast.FuncLit node) but
+// never entered: a closure body runs at call time and is analyzed as its
+// own unit.
+func Walk(n ast.Node, fn func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *RangeBind:
+		fn(n)
+	case *ast.RangeStmt:
+		// Only the range expression is evaluated here; the body has its
+		// own blocks.
+		if fn(n) {
+			Walk(n.X, fn)
+		}
+	case *ast.SelectStmt:
+		// Pure branch marker; each communication lives in its comm block.
+		fn(n)
+	case *ast.CaseClause:
+		// The guard expressions; the body statements are separate nodes
+		// of the same block.
+		if fn(n) {
+			for _, e := range n.List {
+				Walk(e, fn)
+			}
+		}
+	case *ast.CommClause:
+		// The communication itself executes when this branch is chosen;
+		// the body statements are separate nodes of the same block.
+		if fn(n) && n.Comm != nil {
+			Walk(n.Comm, fn)
+		}
+	default:
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil {
+				return true
+			}
+			if _, ok := c.(*ast.FuncLit); ok {
+				// Surface the literal itself (clients may care that a
+				// closure exists, e.g. to detect variable capture) but
+				// never descend into its body: it runs at call time.
+				fn(c)
+				return false
+			}
+			return fn(c)
+		})
+	}
+}
+
+// --- rendering (debugging and golden tests) ---
+
+// String renders the graph, one block per line:
+//
+//	b0 entry: assign; cond(x > 0) → b1 b2
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		for i, n := range blk.Nodes {
+			if i > 0 {
+				sb.WriteString(";")
+			}
+			sb.WriteString(" " + nodeLabel(n))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" →")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		var marks []string
+		if blk.Exits {
+			marks = append(marks, "exit")
+		}
+		if blk.Panic {
+			marks = append(marks, "panic")
+		}
+		if len(marks) > 0 {
+			fmt.Fprintf(&sb, " [%s]", strings.Join(marks, ","))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeLabel summarizes one node for String.
+func nodeLabel(n ast.Node) string {
+	switch n := n.(type) {
+	case *RangeBind:
+		return "rangebind"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.BranchStmt:
+		if n.Label != nil {
+			return n.Tok.String() + " " + n.Label.Name
+		}
+		return n.Tok.String()
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.DeferStmt:
+		return "defer " + callLabel(n.Call)
+	case *ast.GoStmt:
+		return "go " + callLabel(n.Call)
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			return "call " + callLabel(call)
+		}
+		return "expr"
+	case *ast.CaseClause:
+		if n.List == nil {
+			return "default"
+		}
+		return "case"
+	case *ast.CommClause:
+		if n.Comm == nil {
+			return "default"
+		}
+		return "comm"
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.SelectStmt:
+		return "select"
+	case ast.Expr:
+		return "cond(" + exprString(n) + ")"
+	default:
+		return strings.TrimPrefix(fmt.Sprintf("%T", n), "*ast.")
+	}
+}
+
+func callLabel(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	default:
+		return "func"
+	}
+}
+
+// exprString renders an expression on one line, truncated.
+func exprString(e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, token.NewFileSet(), e); err != nil {
+		return "?"
+	}
+	s := strings.Join(strings.Fields(sb.String()), " ")
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}

@@ -1,0 +1,360 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse wraps a statement list in a function and returns its body.
+func parse(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc _() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// TestGolden freezes the rendered CFG for every statement form the builder
+// handles. A golden mismatch means the graph shape changed — update only
+// after checking the new shape by hand.
+func TestGolden(t *testing.T) {
+	tests := []struct{ name, body, want string }{
+		{"straightline",
+			`x := 1; x++; f(x); return`, `
+b0 entry: assign; incdec; call f; return [exit]
+`},
+		{"ifelse",
+			`if x > 0 { f() } else { g() }; h()`, `
+b0 entry: cond(x > 0) → b1 b2
+b1 if.then: call f → b3
+b2 if.else: call g → b3
+b3 if.after: call h [exit]
+`},
+		{"ifnoelse",
+			`if x > 0 { f() }; g()`, `
+b0 entry: cond(x > 0) → b1 b2
+b1 if.then: call f → b2
+b2 if.after: call g [exit]
+`},
+		{"ifbotharmreturn",
+			`if x > 0 { return 1 } else { return 2 }`, `
+b0 entry: cond(x > 0) → b1 b2
+b1 if.then: return [exit]
+b2 if.else: return [exit]
+`},
+		{"ifinit",
+			`if y := f(); y > 0 { g(y) }`, `
+b0 entry: assign; cond(y > 0) → b1 b2
+b1 if.then: call g → b2
+b2 if.after: [exit]
+`},
+		{"forfull",
+			`for i := 0; i < n; i++ { f(i) }; g()`, `
+b0 entry: assign → b1
+b1 for.head: cond(i < n) → b4 b2
+b2 for.after: call g [exit]
+b3 for.post: incdec → b1
+b4 for.body: call f → b3
+`},
+		{"forcondonly",
+			`for x < n { f() }`, `
+b0 entry: → b1
+b1 for.head: cond(x < n) → b3 b2
+b2 for.after: [exit]
+b3 for.body: call f → b1
+`},
+		{"forever",
+			`for { f() }`, `
+b0 entry: → b1
+b1 for.head: → b3
+b2 for.after: [exit]
+b3 for.body: call f → b1
+`},
+		{"forbreakcontinue",
+			`for i := 0; i < n; i++ { if i == 3 { continue }; if i == 7 { break }; f(i) }`, `
+b0 entry: assign → b1
+b1 for.head: cond(i < n) → b4 b2
+b2 for.after: [exit]
+b3 for.post: incdec → b1
+b4 for.body: cond(i == 3) → b5 b6
+b5 if.then: continue → b3
+b6 if.after: cond(i == 7) → b7 b8
+b7 if.then: break → b2
+b8 if.after: call f → b3
+`},
+		{"rangeloop",
+			`for k, v := range m { f(k, v) }; g()`, `
+b0 entry: range → b1
+b1 range.head: → b3 b2
+b2 range.after: call g [exit]
+b3 range.body: rangebind; call f → b1
+`},
+		{"rangenovars",
+			`for range ch { f() }`, `
+b0 entry: range → b1
+b1 range.head: → b3 b2
+b2 range.after: [exit]
+b3 range.body: call f → b1
+`},
+		{"labeledbreakcontinue",
+			`outer: for i := 0; i < n; i++ { for j := 0; j < n; j++ { if bad(i, j) { break outer }; if skip(i, j) { continue outer }; f(i, j) } }; g()`, `
+b0 entry: → b1
+b1 label.outer: assign → b2
+b2 for.head: cond(i < n) → b5 b3
+b3 for.after: call g [exit]
+b4 for.post: incdec → b2
+b5 for.body: assign → b6
+b6 for.head: cond(j < n) → b9 b7
+b7 for.after: → b4
+b8 for.post: incdec → b6
+b9 for.body: cond(bad(i, j)) → b10 b11
+b10 if.then: break outer → b3
+b11 if.after: cond(skip(i, j)) → b12 b13
+b12 if.then: continue outer → b4
+b13 if.after: call f → b8
+`},
+		{"gotobackward",
+			`x := 0; loop: x++; if x < n { goto loop }; return`, `
+b0 entry: assign → b1
+b1 label.loop: incdec; cond(x < n) → b2 b3
+b2 if.then: goto loop → b1
+b3 if.after: return [exit]
+`},
+		{"gotoforward",
+			`if x > 0 { goto done }; f(); done: g()`, `
+b0 entry: cond(x > 0) → b1 b2
+b1 if.then: goto done → b3
+b2 if.after: call f → b3
+b3 label.done: call g [exit]
+`},
+		{"switchfallthrough",
+			`switch x { case 1: f(); case 2: g(); fallthrough; case 3: h(); default: d() }; after()`, `
+b0 entry: cond(x) → b2 b3 b4 b5
+b1 switch.after: call after [exit]
+b2 switch.case: case; call f → b1
+b3 switch.case: case; call g; fallthrough → b4
+b4 switch.case: case; call h → b1
+b5 switch.default: default; call d → b1
+`},
+		{"switchnodefault",
+			`switch x { case 1: f() }; g()`, `
+b0 entry: cond(x) → b2 b1
+b1 switch.after: call g [exit]
+b2 switch.case: case; call f → b1
+`},
+		{"typeswitch",
+			`switch v := x.(type) { case int: f(v); case string: g(v); default: h() }`, `
+b0 entry: assign → b2 b3 b4
+b1 switch.after: [exit]
+b2 switch.case: case; call f → b1
+b3 switch.case: case; call g → b1
+b4 switch.default: default; call h → b1
+`},
+		{"switchbreak",
+			`switch { case x > 0: if y { break }; f() }; g()`, `
+b0 entry: → b2 b1
+b1 switch.after: call g [exit]
+b2 switch.case: case; cond(y) → b3 b4
+b3 if.then: break → b1
+b4 if.after: call f → b1
+`},
+		{"selectstmt",
+			`select { case v := <-ch: f(v); case out <- x: g(); default: h() }; after()`, `
+b0 entry: select → b2 b3 b4
+b1 select.after: call after [exit]
+b2 select.comm: comm; call f → b1
+b3 select.comm: comm; call g → b1
+b4 select.default: default; call h → b1
+`},
+		{"deferinloop",
+			`mu.Lock(); defer mu.Unlock(); for i := 0; i < n; i++ { defer f(i) }; return`, `
+b0 entry: call Lock; defer Unlock; assign → b1
+b1 for.head: cond(i < n) → b4 b2
+b2 for.after: return [exit]
+b3 for.post: incdec → b1
+b4 for.body: defer f → b3
+`},
+		{"panicstmt",
+			`if x < 0 { panic("neg") }; f()`, `
+b0 entry: cond(x < 0) → b1 b2
+b1 if.then: call panic [panic]
+b2 if.after: call f [exit]
+`},
+		{"deadcode",
+			`return; f()`, `
+b0 entry: return [exit]
+b1 unreachable: call f [exit]
+`},
+		{"goandsend",
+			`go f(); ch <- 1; x := <-ch; _ = x`, `
+b0 entry: go f; send; assign; assign [exit]
+`},
+		{"funclitnotinlined",
+			`f := func() { mu.Lock(); return }; f()`, `
+b0 entry: assign; call f [exit]
+`},
+		{"gotooutofloop",
+			`for i := range xs { if xs[i] == 0 { goto fail } }; return; fail: panic("zero")`, `
+b0 entry: range → b1
+b1 range.head: → b3 b2
+b2 range.after: return [exit]
+b3 range.body: rangebind; cond(xs[i] == 0) → b4 b5
+b4 if.then: goto fail → b6
+b5 if.after: → b1
+b6 label.fail: call panic [panic]
+`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := New(parse(t, tt.body)).String()
+			want := strings.TrimPrefix(tt.want, "\n")
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestEdgesConsistent checks the Preds/Succs invariant on a graph that
+// exercises every construct at once.
+func TestEdgesConsistent(t *testing.T) {
+	g := New(parse(t, `
+	x := 0
+loop:
+	for i := 0; i < n; i++ {
+		switch {
+		case i == 1:
+			continue loop
+		case i == 2:
+			break loop
+		default:
+			select {
+			case <-ch:
+				goto out
+			default:
+			}
+		}
+		for range m {
+			x++
+		}
+	}
+out:
+	if x > 0 {
+		panic("x")
+	}
+	return`))
+	count := func(list []*Block, b *Block) int {
+		n := 0
+		for _, x := range list {
+			if x == b {
+				n++
+			}
+		}
+		return n
+	}
+	for _, b := range g.Blocks {
+		if b.Index != g.Blocks[b.Index].Index {
+			t.Fatalf("block index mismatch at b%d", b.Index)
+		}
+		for _, s := range b.Succs {
+			if count(s.Preds, b) != count(b.Succs, s) {
+				t.Errorf("edge b%d→b%d: succ/pred counts disagree", b.Index, s.Index)
+			}
+		}
+	}
+}
+
+// TestLoops checks that Loops records each loop head and exactly its body
+// blocks, innermost loops included.
+func TestLoops(t *testing.T) {
+	g := New(parse(t, `
+	for i := 0; i < n; i++ {
+		for k := range m {
+			f(i, k)
+		}
+	}`))
+	if len(g.Loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(g.Loops))
+	}
+	// Builder pushes loops on pop, so the inner range loop comes first.
+	inner, outer := g.Loops[0], g.Loops[1]
+	if inner.Head.Kind != "range.head" || outer.Head.Kind != "for.head" {
+		t.Fatalf("loop heads: got %q and %q", inner.Head.Kind, outer.Head.Kind)
+	}
+	inBody := func(l Loop, kind string) bool {
+		for _, b := range l.Body {
+			if b.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	if !inBody(inner, "range.body") || inBody(inner, "for.body") {
+		t.Errorf("inner loop body wrong: %v", kinds(inner.Body))
+	}
+	for _, kind := range []string{"for.body", "for.post", "range.head", "range.body"} {
+		if !inBody(outer, kind) {
+			t.Errorf("outer loop body missing %q: %v", kind, kinds(outer.Body))
+		}
+	}
+	if inBody(outer, "for.after") {
+		t.Errorf("outer loop body must not contain for.after: %v", kinds(outer.Body))
+	}
+}
+
+func kinds(blocks []*Block) []string {
+	var out []string
+	for _, b := range blocks {
+		out = append(out, b.Kind)
+	}
+	return out
+}
+
+// TestCondEdges checks the Succs[0]=true / Succs[1]=false convention on
+// two-way tests, which edge-sensitive analyses rely on.
+func TestCondEdges(t *testing.T) {
+	g := New(parse(t, `if ok { f() } else { g() }`))
+	entry := g.Blocks[0]
+	if entry.Cond == nil {
+		t.Fatal("entry.Cond not set")
+	}
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry has %d succs, want 2", len(entry.Succs))
+	}
+	if entry.Succs[0].Kind != "if.then" || entry.Succs[1].Kind != "if.else" {
+		t.Errorf("cond edge order: got %q, %q", entry.Succs[0].Kind, entry.Succs[1].Kind)
+	}
+	// Loop heads follow the same convention: Succs[0] enters the body.
+	g = New(parse(t, `for x < n { f() }`))
+	head := g.Blocks[1]
+	if head.Cond == nil || head.Succs[0].Kind != "for.body" || head.Succs[1].Kind != "for.after" {
+		t.Errorf("for head edges: cond=%v succs=%v", head.Cond != nil, kinds(head.Succs))
+	}
+}
+
+// TestRangeBindPlacement checks the synthetic rebind node sits at the top
+// of the loop body — never on the head — so the loop-exit edge carries the
+// state of the last completed iteration, unrebound.
+func TestRangeBindPlacement(t *testing.T) {
+	g := New(parse(t, `for k := range m { f(k) }`))
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if rb, ok := n.(*RangeBind); ok {
+				if b.Kind != "range.body" || i != 0 {
+					t.Errorf("RangeBind at %s node %d, want range.body node 0", b.Kind, i)
+				}
+				if rb.Range == nil || !rb.Pos().IsValid() || !rb.End().IsValid() {
+					t.Errorf("RangeBind positions invalid")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no RangeBind node found")
+}

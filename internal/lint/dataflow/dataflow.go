@@ -1,0 +1,148 @@
+// Package dataflow is a forward dataflow fixpoint solver over
+// internal/lint/cfg graphs. An analysis supplies a lattice (Bottom, Join,
+// Equal via the Fact interface) and a Transfer function; the solver
+// iterates to a fixpoint and returns the fact at the entry and exit of
+// every block, which analyzers then interpret in a separate reporting
+// pass (transfer functions must be pure — diagnosis happens after the
+// facts stabilize, never during iteration, so that a fact visited twice
+// is not reported twice).
+//
+// The bottom element — "this program point is unreachable, no fact yet" —
+// is represented by a nil Fact, so analyses need not manufacture a
+// distinguished value: Join(nil, x) = x and Transfer(n, nil) = nil hold by
+// construction and the callbacks never see nil.
+//
+// Iteration is round-robin in block-index order, which terminates for the
+// finite lattices the unitlint analyzers use and — as important for a
+// determinism-obsessed repo — visits blocks in the same order every run,
+// so any diagnostics derived from the results are stably ordered.
+package dataflow
+
+import (
+	"go/ast"
+
+	"unitdb/internal/lint/cfg"
+)
+
+// Fact is one lattice element. Implementations are immutable: Join and
+// Transfer return new values rather than mutating their arguments (the
+// solver stores facts at many program points and aliasing a mutated map
+// across points corrupts the fixpoint).
+type Fact interface {
+	// Equal reports whether two facts are the same lattice element. The
+	// argument is always non-nil and produced by the same Analysis.
+	Equal(Fact) bool
+}
+
+// Analysis defines one forward dataflow problem.
+type Analysis struct {
+	// Entry is the fact at the start of the entry block.
+	Entry Fact
+
+	// Join combines facts arriving on two edges. Both arguments are
+	// non-nil; the result must be their least upper bound (or any sound
+	// over-approximation that keeps the lattice finite).
+	Join func(a, b Fact) Fact
+
+	// Transfer computes the effect of one CFG node on a fact. The input is
+	// non-nil; the function must not mutate it.
+	Transfer func(n ast.Node, f Fact) Fact
+
+	// EdgeTransfer, if non-nil, refines the fact flowing along one edge
+	// after the source block's transfers: from's out-fact is passed with
+	// the index of the successor edge (for two-way tests, cfg.Block.Cond
+	// with Succs[0]=true and Succs[1]=false lets analyses branch on the
+	// condition). Returning nil kills the edge — no fact flows along it.
+	EdgeTransfer func(from *cfg.Block, succIdx int, f Fact) Fact
+}
+
+// Result holds the stabilized facts. In[i] is the fact at the start of
+// g.Blocks[i], Out[i] the fact after its last node. A nil entry means the
+// block is unreachable.
+type Result struct {
+	In  []Fact
+	Out []Fact
+}
+
+// Solve runs the analysis to a fixpoint over g.
+func Solve(g *cfg.CFG, a *Analysis) *Result {
+	n := len(g.Blocks)
+	res := &Result{In: make([]Fact, n), Out: make([]Fact, n)}
+	if n == 0 {
+		return res
+	}
+
+	// flowOut computes the fact b contributes to its succIdx-th edge.
+	flowOut := func(b *cfg.Block, succIdx int) Fact {
+		f := res.Out[b.Index]
+		if f == nil || a.EdgeTransfer == nil {
+			return f
+		}
+		return a.EdgeTransfer(b, succIdx, f)
+	}
+
+	transferBlock := func(b *cfg.Block, in Fact) Fact {
+		if in == nil {
+			return nil
+		}
+		f := in
+		for _, node := range b.Nodes {
+			f = a.Transfer(node, f)
+			if f == nil {
+				break
+			}
+		}
+		return f
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			var in Fact
+			if b.Index == 0 {
+				in = a.Entry
+			}
+			seen := map[int]bool{}
+			for _, p := range b.Preds {
+				// A block with several edges into b appears once per edge in
+				// Preds; visit it once and walk all its edges, each with its
+				// own index in p.Succs (EdgeTransfer tells them apart).
+				if seen[p.Index] {
+					continue
+				}
+				seen[p.Index] = true
+				for si, s := range p.Succs {
+					if s != b {
+						continue
+					}
+					f := flowOut(p, si)
+					if f == nil {
+						continue
+					}
+					if in == nil {
+						in = f
+					} else {
+						in = a.Join(in, f)
+					}
+				}
+			}
+			if !factEq(res.In[b.Index], in) {
+				res.In[b.Index] = in
+				changed = true
+			}
+			out := transferBlock(b, in)
+			if !factEq(res.Out[b.Index], out) {
+				res.Out[b.Index] = out
+				changed = true
+			}
+		}
+	}
+	return res
+}
+
+func factEq(a, b Fact) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Equal(b)
+}

@@ -1,0 +1,223 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"unitdb/internal/lint/cfg"
+)
+
+func parse(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc _() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// names is a set-of-identifiers fact.
+type names map[string]bool
+
+func (s names) Equal(o Fact) bool {
+	t := o.(names)
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s names) with(k string) names {
+	out := names{}
+	for x := range s {
+		out[x] = true
+	}
+	out[k] = true
+	return out
+}
+
+func (s names) sorted() string {
+	var keys []string
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// assigned returns the lhs identifier of `x := ...` / `x = ...` nodes.
+func assigned(n ast.Node) string {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 {
+		return ""
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return id.Name
+}
+
+func union(a, b Fact) Fact {
+	out := names{}
+	for k := range a.(names) {
+		out[k] = true
+	}
+	for k := range b.(names) {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b Fact) Fact {
+	out := names{}
+	for k := range a.(names) {
+		if b.(names)[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func collect(n ast.Node, f Fact) Fact {
+	if name := assigned(n); name != "" {
+		return f.(names).with(name)
+	}
+	return f
+}
+
+// exitFact joins the out-facts of all normal-exit blocks.
+func exitFact(t *testing.T, g *cfg.CFG, res *Result, join func(a, b Fact) Fact) names {
+	t.Helper()
+	var out Fact
+	for _, b := range g.Blocks {
+		if !b.Exits || res.Out[b.Index] == nil {
+			continue
+		}
+		if out == nil {
+			out = res.Out[b.Index]
+		} else {
+			out = join(out, res.Out[b.Index])
+		}
+	}
+	if out == nil {
+		t.Fatal("no reachable exit block")
+	}
+	return out.(names)
+}
+
+// TestMayAnalysis: union join accumulates assignments from all paths.
+func TestMayAnalysis(t *testing.T) {
+	g := cfg.New(parse(t, `if c { a = 1 } else { b = 2 }; d = 3`))
+	res := Solve(g, &Analysis{Entry: names{}, Join: union, Transfer: collect})
+	if got := exitFact(t, g, res, union).sorted(); got != "a,b,d" {
+		t.Errorf("may-assigned at exit = %q, want %q", got, "a,b,d")
+	}
+}
+
+// TestMustAnalysis: intersection join keeps only assignments on every path.
+func TestMustAnalysis(t *testing.T) {
+	g := cfg.New(parse(t, `if c { a = 1; b = 2 } else { b = 3 }; d = 4`))
+	res := Solve(g, &Analysis{Entry: names{}, Join: intersect, Transfer: collect})
+	if got := exitFact(t, g, res, intersect).sorted(); got != "b,d" {
+		t.Errorf("must-assigned at exit = %q, want %q", got, "b,d")
+	}
+}
+
+// TestLoopFixpoint: facts flowing around a back edge converge, and the
+// loop body's assignment reaches the loop exit.
+func TestLoopFixpoint(t *testing.T) {
+	g := cfg.New(parse(t, `a = 1; for i := 0; i < n; i++ { b = 2 }; c = 3`))
+	res := Solve(g, &Analysis{Entry: names{}, Join: union, Transfer: collect})
+	if got := exitFact(t, g, res, union).sorted(); got != "a,b,c,i" {
+		t.Errorf("may-assigned at exit = %q, want %q", got, "a,b,c,i")
+	}
+	// Under must-analysis the loop may run zero times, so b is not
+	// definitely assigned at exit.
+	res = Solve(g, &Analysis{Entry: names{}, Join: intersect, Transfer: collect})
+	if got := exitFact(t, g, res, intersect).sorted(); got != "a,c,i" {
+		t.Errorf("must-assigned at exit = %q, want %q", got, "a,c,i")
+	}
+}
+
+// TestUnreachable: blocks with no path from entry keep a nil fact.
+func TestUnreachable(t *testing.T) {
+	g := cfg.New(parse(t, `return; a = 1`))
+	res := Solve(g, &Analysis{Entry: names{}, Join: union, Transfer: collect})
+	if res.In[0] == nil || res.Out[0] == nil {
+		t.Error("entry block should be reachable")
+	}
+	var dead *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" {
+			dead = b
+		}
+	}
+	if dead == nil {
+		t.Fatal("no unreachable block in graph")
+	}
+	if res.In[dead.Index] != nil || res.Out[dead.Index] != nil {
+		t.Error("unreachable block should have nil facts")
+	}
+}
+
+// TestEdgeTransfer: a branch on the condition refines the fact per edge —
+// the true edge learns "tested", the false edge is killed outright, so
+// the else arm must stay unreachable.
+func TestEdgeTransfer(t *testing.T) {
+	g := cfg.New(parse(t, `if c { a = 1 } else { b = 2 }; d = 3`))
+	res := Solve(g, &Analysis{
+		Entry:    names{},
+		Join:     union,
+		Transfer: collect,
+		EdgeTransfer: func(from *cfg.Block, succIdx int, f Fact) Fact {
+			if from.Cond == nil {
+				return f
+			}
+			if succIdx == 0 {
+				return f.(names).with("tested")
+			}
+			return nil // kill the false edge
+		},
+	})
+	var elseB *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "if.else" {
+			elseB = b
+		}
+	}
+	if elseB == nil {
+		t.Fatal("no if.else block")
+	}
+	if res.In[elseB.Index] != nil {
+		t.Error("killed edge should leave else arm unreachable")
+	}
+	if got := exitFact(t, g, res, union).sorted(); got != "a,d,tested" {
+		t.Errorf("exit fact = %q, want %q", got, "a,d,tested")
+	}
+}
+
+// TestDeterministic: two runs over the same graph produce identical facts
+// (round-robin order is fixed by block index).
+func TestDeterministic(t *testing.T) {
+	body := `for i := 0; i < n; i++ { if c { a = 1 } else { b = 2 } }; d = 3`
+	g := cfg.New(parse(t, body))
+	a := &Analysis{Entry: names{}, Join: union, Transfer: collect}
+	r1, r2 := Solve(g, a), Solve(g, a)
+	for i := range r1.Out {
+		if !factEq(r1.Out[i], r2.Out[i]) || !factEq(r1.In[i], r2.In[i]) {
+			t.Errorf("facts differ between runs at block %d", i)
+		}
+	}
+}

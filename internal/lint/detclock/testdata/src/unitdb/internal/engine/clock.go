@@ -40,5 +40,5 @@ type clock struct{}
 func (clock) Unix() int64 { return 0 }
 
 func suppressed() {
-	_ = time.Now() //unitlint:ignore detclock
+	_ = time.Now() //unitlint:ignore detclock -- fixture: pins that a scoped, reasoned ignore suppresses
 }

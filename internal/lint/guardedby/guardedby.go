@@ -41,11 +41,13 @@ var Analyzer = &analysis.Analyzer{
 
 var guardRE = regexp.MustCompile(`(?i)guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
 
-// guards maps struct name → field name → guarding mutex field name.
-type guards map[string]map[string]string
+// Guards maps struct name → field name → guarding mutex field name. It is
+// exported for guardedflow, which upgrades the same annotations from
+// comment-presence checking to flow-sensitive enforcement.
+type Guards map[string]map[string]string
 
 func run(pass *analysis.Pass) error {
-	g := collectGuards(pass.Pkg.Files)
+	g := CollectGuards(pass.Pkg.Files)
 	if len(g) == 0 {
 		return nil
 	}
@@ -61,9 +63,9 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// collectGuards finds annotated fields across the package's structs.
-func collectGuards(files []*ast.File) guards {
-	g := guards{}
+// CollectGuards finds annotated fields across the package's structs.
+func CollectGuards(files []*ast.File) Guards {
+	g := Guards{}
 	for _, file := range files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
@@ -108,8 +110,8 @@ func guardAnnotation(field *ast.Field) string {
 	return ""
 }
 
-// receiverName returns the receiver identifier and its struct type name.
-func receiverName(fd *ast.FuncDecl) (recv, typ string) {
+// ReceiverName returns the receiver identifier and its struct type name.
+func ReceiverName(fd *ast.FuncDecl) (recv, typ string) {
 	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
 		return "", ""
 	}
@@ -128,8 +130,8 @@ func receiverName(fd *ast.FuncDecl) (recv, typ string) {
 	return "", ""
 }
 
-func checkMethod(pass *analysis.Pass, g guards, fd *ast.FuncDecl) {
-	recv, typ := receiverName(fd)
+func checkMethod(pass *analysis.Pass, g Guards, fd *ast.FuncDecl) {
+	recv, typ := ReceiverName(fd)
 	fields := g[typ]
 	if recv == "" || recv == "_" || len(fields) == 0 {
 		return

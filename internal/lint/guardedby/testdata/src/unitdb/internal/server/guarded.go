@@ -70,5 +70,5 @@ func (c *counter) Async() func() {
 // Suppressed demonstrates the escape hatch for a deliberate unguarded
 // read (say, a monitoring fast path that tolerates a torn value).
 func (c *counter) Suppressed() int {
-	return c.n //unitlint:ignore guardedby
+	return c.n //unitlint:ignore guardedby -- fixture: pins that a scoped, reasoned ignore suppresses
 }

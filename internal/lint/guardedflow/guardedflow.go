@@ -1,0 +1,131 @@
+// Package guardedflow upgrades the guardedby convention from
+// comment-presence checking to flow-sensitive enforcement: every read or
+// write of a "// guarded by mu" field through a method receiver must
+// happen at a program point where the lockstate lattice proves the mutex
+// held (write- or read-locked on every path reaching the access), or
+// inside a method whose name ends in "Locked" (which is analyzed with the
+// mutex assumed held at entry — and still checked, so a *Locked method
+// that releases early is caught).
+//
+// Where guardedby asks "does this method lock mu somewhere?", guardedflow
+// asks "is mu held *here*?" — it catches the access moved past the
+// unlock, the branch that releases before touching the field, and the
+// *Locked helper that drops the caller's lock.
+//
+// Scope matches guardedby deliberately: only accesses spelled through the
+// method receiver are checked (aliases are out of syntactic reach), plain
+// functions and constructors are exempt (the struct has not escaped yet),
+// and function-literal bodies are exempt (a closure runs at call time
+// under whatever lock regime its call site has — the server's dequeue
+// closure, for example, runs under the mutex of three different call
+// sites; `go test -race` covers the dynamics).
+package guardedflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/cfg"
+	"unitdb/internal/lint/dataflow"
+	"unitdb/internal/lint/guardedby"
+	"unitdb/internal/lint/lockstate"
+)
+
+// Analyzer is the guardedflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedflow",
+	Doc:  "guarded-field accesses must occur where the mutex is provably held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := guardedby.CollectGuards(pass.Pkg.Files)
+	if len(g) == 0 {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv, typ := guardedby.ReceiverName(fd)
+			if recv == "" || recv == "_" || len(g[typ]) == 0 {
+				continue
+			}
+			checkMethod(pass, fd, recv, typ, g[typ])
+		}
+	}
+	return nil
+}
+
+// checkMethod runs the lockstate fixpoint over one method and reports
+// every guarded-field access at a point where the mutex is not provably
+// held. fields maps field name → guarding mutex name.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, recv, typ string, fields map[string]string) {
+	entry := lockstate.Fact{}
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		// The caller holds every guarding mutex of the struct; the method
+		// body is still checked under that assumption.
+		for _, mutex := range fields {
+			entry[recv+"."+mutex] = lockstate.Set(0).Add(lockstate.PathState{Mode: lockstate.Locked})
+		}
+	}
+	g := cfg.New(fd.Body)
+	res := dataflow.Solve(g, &dataflow.Analysis{
+		Entry:    entry,
+		Join:     lockstate.Join,
+		Transfer: lockstate.Transfer,
+	})
+
+	seen := map[string]bool{}
+	for _, b := range g.Blocks {
+		in := res.In[b.Index]
+		if in == nil {
+			continue // unreachable
+		}
+		fact := in.(lockstate.Fact)
+		for _, node := range b.Nodes {
+			checkAccesses(pass, node, fact, fd, recv, typ, fields, seen)
+			// Advance the lock state past this node's own operations;
+			// bad transitions are locksafe's findings, not ours.
+			fact = lockstate.Transfer(node, fact).(lockstate.Fact)
+		}
+	}
+}
+
+// checkAccesses reports unguarded recv.field accesses within one node,
+// judged against the lock state at the node's entry.
+func checkAccesses(pass *analysis.Pass, node ast.Node, fact lockstate.Fact,
+	fd *ast.FuncDecl, recv, typ string, fields map[string]string, seen map[string]bool) {
+	cfg.Walk(node, func(c ast.Node) bool {
+		sel, ok := c.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != recv {
+			return true
+		}
+		mutex, guarded := fields[sel.Sel.Name]
+		if !guarded || lockstate.Held(fact, recv+"."+mutex) {
+			return true
+		}
+		key := fmt.Sprintf("%v|%s", sel.Pos(), sel.Sel.Name)
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		report(pass, sel.Pos(), recv, sel.Sel.Name, mutex, typ, fd.Name.Name)
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, pos token.Pos, recv, field, mutex, typ, method string) {
+	pass.Reportf(pos,
+		"%s.%s is guarded by %q but %s.%s is not provably held here (method %s.%s; suffix the name with Locked if the caller holds it)",
+		recv, field, mutex, recv, mutex, typ, method)
+}

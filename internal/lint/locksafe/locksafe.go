@@ -1,0 +1,140 @@
+// Package locksafe checks mutex discipline flow-sensitively: every
+// mu.Lock()/RLock() must be released (explicitly or by defer) on every
+// path to a normal return, with no double-lock, no double-unlock, no
+// read/write mismatch, and no second deferred unlock on one path.
+//
+// Each function body and each function literal is one analysis unit with
+// its own CFG (a closure runs at call time, so its lock operations are
+// not part of the enclosing function's paths). The entry state of every
+// mutex is Unknown, which makes the analyzer safe on *Locked-style
+// helpers: unlocking a mutex the function never locked is assumed to
+// release the caller's hold, and only provable contradictions on the
+// function's own operations are reported. Paths ending in panic are
+// exempt from the leak check — a panicking path's defers still run, but
+// the function is already failing and sync.Mutex state after a panic is
+// the recover handler's problem, not this analyzer's.
+//
+// See internal/lint/lockstate for the lattice and the exact transition
+// rules, and internal/lint/cfg + internal/lint/dataflow for the engine.
+package locksafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/cfg"
+	"unitdb/internal/lint/dataflow"
+	"unitdb/internal/lint/lockstate"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "every mutex lock is released on all paths; no double lock/unlock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			// Every function literal is its own unit, nested ones included.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function body: fixpoint first, then a replay
+// pass that reports each bad transition once.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := dataflow.Solve(g, &dataflow.Analysis{
+		Entry:    lockstate.Fact{},
+		Join:     lockstate.Join,
+		Transfer: lockstate.Transfer,
+	})
+
+	r := reporter{pass: pass, seen: map[string]bool{}}
+	for _, b := range g.Blocks {
+		in := res.In[b.Index]
+		if in == nil && b.Index != 0 {
+			continue // unreachable
+		}
+		fact := lockstate.Fact{}
+		if in != nil {
+			fact = in.(lockstate.Fact)
+		}
+		// Replay the block's transfers, surfacing the problems the pure
+		// fixpoint pass ignored.
+		for _, node := range b.Nodes {
+			fact = r.apply(node, fact)
+		}
+		if b.Exits && !b.Panic {
+			r.atExit(b, body, fact)
+		}
+	}
+}
+
+type reporter struct {
+	pass *analysis.Pass
+	seen map[string]bool // (position, message) dedupe across merged paths
+}
+
+func (r *reporter) report(pos token.Pos, msg string) {
+	key := fmt.Sprintf("%v|%s", pos, msg)
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.pass.Reportf(pos, "%s", msg)
+}
+
+// apply replays one node's ops over every path state, reporting problems.
+func (r *reporter) apply(node ast.Node, f lockstate.Fact) lockstate.Fact {
+	ops := lockstate.Ops(node)
+	if len(ops) == 0 {
+		return f
+	}
+	fact := f.Clone()
+	for _, op := range ops {
+		var next lockstate.Set
+		for _, p := range fact.Get(op.Key).States() {
+			np, problem := lockstate.Apply(op.Kind, op.Key, p)
+			if problem != "" {
+				r.report(op.Pos, problem)
+			}
+			next = next.Add(np)
+		}
+		fact[op.Key] = next
+	}
+	return fact
+}
+
+// atExit checks the exit-time problems of one normal-return block.
+func (r *reporter) atExit(b *cfg.Block, body *ast.BlockStmt, f lockstate.Fact) {
+	pos := body.Rbrace
+	if n := len(b.Nodes); n > 0 {
+		if ret, ok := b.Nodes[n-1].(*ast.ReturnStmt); ok {
+			pos = ret.Pos()
+		}
+	}
+	for _, key := range f.Keys() {
+		for _, p := range f[key].States() {
+			for _, problem := range lockstate.AtExit(key, p) {
+				r.report(pos, problem)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Fixture for locksafe: flow-sensitive mutex discipline. Clean functions
+// pin the analyzer's false-positive behaviour; want-lines pin findings.
+package server
+
+import "sync"
+
+type sstate struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// The canonical pattern: lock + deferred unlock.
+func (s *sstate) cleanDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Explicit unlock on every path.
+func (s *sstate) cleanExplicit(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// Both arms lock; the join still proves Locked.
+func (s *sstate) cleanEitherWay(cond bool) {
+	if cond {
+		s.mu.Lock()
+	} else {
+		s.mu.Lock()
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// An early return that skips the unlock leaks the lock.
+func (s *sstate) leakOnEarlyReturn(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 0 // want `s\.mu is still held at return`
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// A select arm that returns while holding leaks too.
+func (s *sstate) leakInSelect(ch chan int) {
+	s.mu.Lock()
+	select {
+	case <-ch:
+		s.mu.Unlock()
+	default:
+		return // want `s\.mu is still held at return`
+	}
+}
+
+func (s *sstate) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `second s\.mu\.Lock\(\) while already holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *sstate) doubleUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock() // want `double unlock`
+}
+
+// Releasing a read lock with Unlock is a mismatch.
+func (s *sstate) wrongUnlock() {
+	s.rw.RLock()
+	s.rw.Unlock() // want `s\.rw\.Unlock\(\) of a read-locked mutex`
+}
+
+// Upgrading a read lock to a write lock deadlocks sync.RWMutex.
+func (s *sstate) upgrade() {
+	s.rw.RLock()
+	s.rw.Lock() // want `upgrade deadlocks`
+	s.rw.Unlock()
+}
+
+// A deferred unlock inside a loop stacks one defer per iteration; the
+// extras fire on an already-released mutex when the function returns.
+func (s *sstate) deferInLoop(items []int) {
+	for range items {
+		s.rw.RLock()
+		defer s.rw.RUnlock() // want `second deferred unlock of s\.rw on the same path`
+	}
+} // want `deferred unlock of s\.rw runs after s\.rw was already released`
+
+// Unlocking explicitly with the deferred unlock still pending double
+// unlocks at return.
+func (s *sstate) deferThenExplicit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Unlock()
+	return // want `deferred unlock of s\.mu runs after s\.mu was already released`
+}
+
+// *Locked convention: the caller holds the lock, so releasing a mutex
+// this function never locked is assumed to be the caller's hold.
+func (s *sstate) releaseLocked() {
+	s.mu.Unlock()
+}
+
+// Locking in only one branch then unlocking unconditionally is
+// suspicious but not provably wrong syntactically (the untouched path is
+// Unknown, and unlocking Unknown is forgiven by the *Locked convention).
+func (s *sstate) maybeLock(cond bool) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// A closure is its own analysis unit: its lock operations run at call
+// time, so the enclosing function stays clean...
+func (s *sstate) spawn() func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.n++
+	}
+}
+
+// ...and the closure body itself is still checked.
+func (s *sstate) badClosure() func() {
+	return func() {
+		s.mu.Lock()
+		s.n++
+	} // want `s\.mu is still held at return`
+}
+
+// Paths that end in panic are exempt from the leak check.
+func (s *sstate) panicPath(cond bool) {
+	s.mu.Lock()
+	if cond {
+		panic("boom")
+	}
+	s.mu.Unlock()
+}
+
+// Switch: every non-panicking path must release.
+func (s *sstate) switchPaths(mode int) int {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+		return 0
+	case 1:
+		// falls to the common unlock below
+	default:
+		s.mu.Unlock()
+		return 2
+	}
+	s.mu.Unlock()
+	return 1
+}
+
+// cond.Wait releases and reacquires internally; at the statement
+// boundary the mutex is held again, so no special case is needed.
+type waiter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	jobs []int
+}
+
+func (w *waiter) next() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.jobs) == 0 {
+		w.cond.Wait()
+	}
+	j := w.jobs[0]
+	w.jobs = w.jobs[1:]
+	return j
+}
+
+// The worker-loop shape: lock per iteration, release on every branch.
+func (w *waiter) loop(done func() bool) {
+	for {
+		w.mu.Lock()
+		if done() {
+			w.mu.Unlock()
+			return
+		}
+		if len(w.jobs) == 0 {
+			w.mu.Unlock()
+			continue
+		}
+		w.jobs = w.jobs[1:]
+		w.mu.Unlock()
+	}
+}

@@ -1,0 +1,378 @@
+// Package lockstate is the lattice the flow-sensitive lock analyzers
+// share: a per-mutex abstract state tracking whether the mutex is held
+// and how many deferred unlocks are pending on the current path.
+//
+// A mutex is identified by its flattened selector chain as written at the
+// call site ("mu", "s.mu", "in.mu") — purely syntactic, like the rest of
+// unitlint, which is honest about aliasing: two spellings of the same
+// mutex are two keys, and the analyzers only reason about consistent
+// spellings within one function (the repo's convention everywhere).
+//
+// Per path, a mutex is in one Mode:
+//
+//	Unknown  — never touched by this function (the entry state; a
+//	           *Locked-style callee may be running under its caller's
+//	           lock, so Unknown answers neither "held" nor "free")
+//	Unlocked — this function released it (or locked and released)
+//	Locked   — held for writing
+//	RLocked  — held for reading
+//
+// and carries a count of pending deferred unlocks (saturating at 2 — one
+// is normal, two on a single path means a defer in a loop). A dataflow
+// fact is a set of such PathStates per mutex (paths merge at joins), and
+// "held" is a must-property: every state in the set is Locked/RLocked.
+package lockstate
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"unitdb/internal/lint/cfg"
+	"unitdb/internal/lint/dataflow"
+)
+
+// Mode is the per-path lock mode.
+type Mode uint8
+
+const (
+	Unknown Mode = iota
+	Unlocked
+	Locked
+	RLocked
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Unlocked:
+		return "unlocked"
+	case Locked:
+		return "locked"
+	case RLocked:
+		return "rlocked"
+	default:
+		return "unknown"
+	}
+}
+
+// maxDefers saturates the pending-defer count: 2 means "two or more",
+// which is already a bug (only one deferred unlock can be right), so
+// finer counting buys nothing and the lattice stays finite.
+const maxDefers = 2
+
+// PathState is the state of one mutex along one path.
+type PathState struct {
+	Mode   Mode
+	Defers uint8 // pending deferred unlocks, saturating at maxDefers
+}
+
+func (p PathState) index() uint { return uint(p.Mode)*(maxDefers+1) + uint(p.Defers) }
+
+// Set is a set of PathStates (the join of several paths), as a bitmask.
+type Set uint16
+
+// UnknownSet is the entry state of every mutex: untouched, no defers.
+var UnknownSet = Set(0).Add(PathState{})
+
+// Add returns s with p included.
+func (s Set) Add(p PathState) Set { return s | 1<<p.index() }
+
+// Has reports whether p is in s.
+func (s Set) Has(p PathState) bool { return s&(1<<p.index()) != 0 }
+
+// States lists the set's elements in a fixed order.
+func (s Set) States() []PathState {
+	var out []PathState
+	for m := Unknown; m <= RLocked; m++ {
+		for d := uint8(0); d <= maxDefers; d++ {
+			if p := (PathState{m, d}); s.Has(p) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Fact maps mutex key → set of path states. An absent key means the
+// mutex is untouched on every path (UnknownSet). Facts are immutable;
+// Apply-style updates go through clones.
+type Fact map[string]Set
+
+// Equal implements dataflow.Fact. Absent keys compare equal to explicit
+// UnknownSet entries, so transfer functions need not normalize.
+func (f Fact) Equal(o dataflow.Fact) bool {
+	g := o.(Fact)
+	for k, v := range f {
+		if g.Get(k) != v {
+			return false
+		}
+	}
+	for k, v := range g {
+		if f.Get(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the set for key, defaulting to UnknownSet.
+func (f Fact) Get(key string) Set {
+	if s, ok := f[key]; ok {
+		return s
+	}
+	return UnknownSet
+}
+
+// Clone copies the fact.
+func (f Fact) Clone() Fact {
+	out := make(Fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys lists the fact's mutex keys in sorted order.
+func (f Fact) Keys() []string {
+	var keys []string
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Join unions path-state sets per mutex (dataflow.Analysis.Join).
+func Join(a, b dataflow.Fact) dataflow.Fact {
+	fa, fb := a.(Fact), b.(Fact)
+	out := fa.Clone()
+	for k, v := range fb {
+		out[k] = out.Get(k) | v
+	}
+	for k := range fa {
+		if _, ok := fb[k]; !ok {
+			out[k] = out[k] | UnknownSet
+		}
+	}
+	return out
+}
+
+// Held reports whether f proves key held (read or write) on every path.
+func Held(f Fact, key string) bool {
+	states := f.Get(key).States()
+	for _, p := range states {
+		if p.Mode != Locked && p.Mode != RLocked {
+			return false
+		}
+	}
+	return len(states) > 0
+}
+
+// OpKind is a lock operation.
+type OpKind uint8
+
+const (
+	OpLock OpKind = iota
+	OpRLock
+	OpUnlock
+	OpRUnlock
+	OpDeferUnlock
+	OpDeferRUnlock
+)
+
+// Op is one lock operation at a position.
+type Op struct {
+	Kind OpKind
+	Key  string // flattened mutex expression ("s.mu")
+	Pos  token.Pos
+}
+
+// Flatten renders a selector chain of identifiers as a dotted key, or ""
+// for anything more complex (index expressions, calls, parens).
+func Flatten(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := Flatten(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	default:
+		return ""
+	}
+}
+
+// Ops extracts the lock operations of one CFG node in source order,
+// via cfg.Walk (so nested statements that execute in other blocks, and
+// function-literal bodies, are not miscounted here).
+func Ops(n ast.Node) []Op {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if op, ok := callOp(d.Call); ok {
+			switch op.Kind {
+			case OpUnlock:
+				op.Kind = OpDeferUnlock
+			case OpRUnlock:
+				op.Kind = OpDeferRUnlock
+			default:
+				// defer mu.Lock() — acquiring at exit is almost surely a
+				// typo, but it is not this lattice's business; drop it.
+				return nil
+			}
+			op.Pos = d.Pos()
+			return []Op{op}
+		}
+		return nil
+	}
+	var ops []Op
+	cfg.Walk(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if op, ok := callOp(call); ok {
+				ops = append(ops, op)
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// callOp classifies call as a zero-argument mutex method call.
+func callOp(call *ast.CallExpr) (Op, bool) {
+	if len(call.Args) != 0 {
+		return Op{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	var kind OpKind
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = OpLock
+	case "RLock":
+		kind = OpRLock
+	case "Unlock":
+		kind = OpUnlock
+	case "RUnlock":
+		kind = OpRUnlock
+	default:
+		return Op{}, false
+	}
+	key := Flatten(sel.X)
+	if key == "" {
+		return Op{}, false
+	}
+	return Op{Kind: kind, Key: key, Pos: call.Pos()}, true
+}
+
+// Apply computes the successor of one path state under op, plus a problem
+// description ("" when the transition is clean). The same function drives
+// both the pure fixpoint transfer (problems ignored) and the post-fixpoint
+// reporting replay, so the two passes cannot disagree.
+func Apply(kind OpKind, key string, p PathState) (PathState, string) {
+	switch kind {
+	case OpLock:
+		switch p.Mode {
+		case Locked:
+			return PathState{Locked, p.Defers}, "second " + key + ".Lock() while already holding " + key + " (deadlock)"
+		case RLocked:
+			return PathState{Locked, p.Defers}, key + ".Lock() while holding " + key + ".RLock() (upgrade deadlocks)"
+		default:
+			return PathState{Locked, p.Defers}, ""
+		}
+	case OpRLock:
+		if p.Mode == Locked {
+			return PathState{RLocked, p.Defers}, key + ".RLock() while already holding " + key + ".Lock() (deadlock)"
+		}
+		return PathState{RLocked, p.Defers}, ""
+	case OpUnlock:
+		switch p.Mode {
+		case Unlocked:
+			return PathState{Unlocked, p.Defers}, key + ".Unlock() of an already-released mutex (double unlock)"
+		case RLocked:
+			return PathState{Unlocked, p.Defers}, key + ".Unlock() of a read-locked mutex (want RUnlock)"
+		default:
+			// Locked → clean release; Unknown → assume the caller locked
+			// it (*Locked-method convention) and stay silent.
+			return PathState{Unlocked, p.Defers}, ""
+		}
+	case OpRUnlock:
+		switch p.Mode {
+		case Unlocked:
+			return PathState{Unlocked, p.Defers}, key + ".RUnlock() of an already-released mutex (double unlock)"
+		case Locked:
+			return PathState{Unlocked, p.Defers}, key + ".RUnlock() of a write-locked mutex (want Unlock)"
+		default:
+			return PathState{Unlocked, p.Defers}, ""
+		}
+	default: // OpDeferUnlock, OpDeferRUnlock
+		if p.Defers >= 1 {
+			d := p.Defers
+			if d < maxDefers {
+				d++
+			}
+			return PathState{p.Mode, d}, "second deferred unlock of " + key + " on the same path (defer in a loop?)"
+		}
+		return PathState{p.Mode, 1}, ""
+	}
+}
+
+// AtExit reports the problems of one path state at a normal function
+// return: pending defers fire (each releases one hold; a defer firing on
+// an already-released mutex is a double unlock), and a mutex still held
+// with no pending defer leaks.
+func AtExit(key string, p PathState) []string {
+	var problems []string
+	mode := p.Mode
+	for d := p.Defers; d > 0; d-- {
+		if mode == Unlocked {
+			problems = append(problems, "deferred unlock of "+key+" runs after "+key+" was already released (double unlock at return)")
+			continue
+		}
+		// Locked/RLocked → released; Unknown → assume caller's lock.
+		mode = Unlocked
+	}
+	if mode == Locked || mode == RLocked {
+		problems = append(problems, key+" is still held at return (missing unlock on this path)")
+	}
+	return problems
+}
+
+// Transfer applies the node's lock operations to the fact, ignoring
+// problems (dataflow.Analysis.Transfer — the reporting replay surfaces
+// them after the fixpoint).
+func Transfer(n ast.Node, f dataflow.Fact) dataflow.Fact {
+	ops := Ops(n)
+	if len(ops) == 0 {
+		return f
+	}
+	fact := f.(Fact).Clone()
+	for _, op := range ops {
+		var next Set
+		for _, p := range fact.Get(op.Key).States() {
+			np, _ := Apply(op.Kind, op.Key, p)
+			next = next.Add(np)
+		}
+		fact[op.Key] = next
+	}
+	return fact
+}
+
+// String renders a fact for debugging: "mu:{locked/1} s.mu:{unknown}".
+func (f Fact) String() string {
+	var parts []string
+	for _, k := range f.Keys() {
+		var ss []string
+		for _, p := range f[k].States() {
+			s := p.Mode.String()
+			if p.Defers > 0 {
+				s += "/" + string(rune('0'+p.Defers))
+			}
+			ss = append(ss, s)
+		}
+		parts = append(parts, k+":{"+strings.Join(ss, ",")+"}")
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,112 @@
+package lockstate
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestApplyTransitions(t *testing.T) {
+	tests := []struct {
+		kind    OpKind
+		in      PathState
+		want    Mode
+		problem string // substring, "" = clean
+	}{
+		{OpLock, PathState{Unknown, 0}, Locked, ""},
+		{OpLock, PathState{Unlocked, 0}, Locked, ""},
+		{OpLock, PathState{Locked, 0}, Locked, "deadlock"},
+		{OpLock, PathState{RLocked, 0}, Locked, "upgrade"},
+		{OpRLock, PathState{Unknown, 0}, RLocked, ""},
+		{OpRLock, PathState{RLocked, 0}, RLocked, ""},
+		{OpRLock, PathState{Locked, 0}, RLocked, "deadlock"},
+		{OpUnlock, PathState{Locked, 0}, Unlocked, ""},
+		{OpUnlock, PathState{Unknown, 0}, Unlocked, ""}, // caller's lock
+		{OpUnlock, PathState{Unlocked, 0}, Unlocked, "double unlock"},
+		{OpUnlock, PathState{RLocked, 0}, Unlocked, "want RUnlock"},
+		{OpRUnlock, PathState{RLocked, 0}, Unlocked, ""},
+		{OpRUnlock, PathState{Locked, 0}, Unlocked, "want Unlock"},
+		{OpRUnlock, PathState{Unlocked, 0}, Unlocked, "double unlock"},
+		{OpDeferUnlock, PathState{Locked, 0}, Locked, ""},
+		{OpDeferUnlock, PathState{Locked, 1}, Locked, "defer in a loop"},
+	}
+	for i, tt := range tests {
+		got, problem := Apply(tt.kind, "mu", tt.in)
+		if got.Mode != tt.want {
+			t.Errorf("#%d: Apply(%v, %v) mode = %v, want %v", i, tt.kind, tt.in, got.Mode, tt.want)
+		}
+		if (problem == "") != (tt.problem == "") ||
+			(tt.problem != "" && !strings.Contains(problem, tt.problem)) {
+			t.Errorf("#%d: Apply(%v, %v) problem = %q, want match %q", i, tt.kind, tt.in, problem, tt.problem)
+		}
+	}
+}
+
+func TestDeferSaturates(t *testing.T) {
+	p := PathState{Locked, 0}
+	for i := 0; i < 5; i++ {
+		p, _ = Apply(OpDeferUnlock, "mu", p)
+	}
+	if p.Defers != maxDefers {
+		t.Errorf("defers = %d, want saturation at %d", p.Defers, maxDefers)
+	}
+}
+
+func TestAtExit(t *testing.T) {
+	if got := AtExit("mu", PathState{Locked, 1}); len(got) != 0 {
+		t.Errorf("lock+defer at exit: %v, want clean", got)
+	}
+	if got := AtExit("mu", PathState{Locked, 0}); len(got) != 1 || !strings.Contains(got[0], "still held") {
+		t.Errorf("leak at exit: %v", got)
+	}
+	if got := AtExit("mu", PathState{Unlocked, 1}); len(got) != 1 || !strings.Contains(got[0], "already released") {
+		t.Errorf("defer after explicit unlock: %v", got)
+	}
+	if got := AtExit("mu", PathState{Unknown, 1}); len(got) != 0 {
+		t.Errorf("defer releasing caller's lock: %v, want clean", got)
+	}
+}
+
+func TestJoinAndHeld(t *testing.T) {
+	locked := Fact{"mu": Set(0).Add(PathState{Locked, 0})}
+	// Join with a fact that never touched mu adds the Unknown state.
+	j := Join(locked, Fact{}).(Fact)
+	if Held(j, "mu") {
+		t.Error("join with untouched path must not prove mu held")
+	}
+	if !Held(locked, "mu") {
+		t.Error("all-Locked set must prove mu held")
+	}
+	both := Join(locked, Fact{"mu": Set(0).Add(PathState{RLocked, 0})}).(Fact)
+	if !Held(both, "mu") {
+		t.Error("Locked ∪ RLocked still proves held (read or write)")
+	}
+	if !locked.Equal(Fact{"mu": Set(0).Add(PathState{Locked, 0}), "other": UnknownSet}) {
+		t.Error("explicit UnknownSet entry must compare equal to an absent key")
+	}
+}
+
+func TestOpsSkipsOtherBlocksAndClosures(t *testing.T) {
+	src := `package p
+func f() {
+	for _, x := range xs {
+		mu.Lock()
+		_ = x
+	}
+	go func() { mu.Lock() }()
+}`
+	f, err := parser.ParseFile(token.NewFileSet(), "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	// The range statement node must contribute no ops (its body executes
+	// in other CFG blocks), and the go statement none (closure body).
+	for _, stmt := range body.List {
+		if ops := Ops(stmt); len(ops) != 0 {
+			t.Errorf("%T contributed ops %v, want none", stmt, ops)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package outcomeonce
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "unitdb/internal/engine")
+}
+
+// TestMutationFinalizeRemoved is the seeded mutation check from the
+// issue: deleting the finalizeQuery call in Engine.completeQuery leaves
+// the committed query's outcome unrecorded on every path, and must
+// produce exactly one outcomeonce finding on the real file.
+func TestMutationFinalizeRemoved(t *testing.T) {
+	src := readEngineGo(t)
+	mutated := strings.Replace(src, "\te.finalizeQuery(q, outcome)\n", "", 1)
+	if mutated == src {
+		t.Fatal("mutation had no effect; did internal/engine/engine.go change shape?")
+	}
+
+	diags := runOnSource(t, "engine.go", mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "q may reach this return with its outcome unrecorded") {
+		t.Errorf("finding is not the dropped outcome: %s", diags[0])
+	}
+}
+
+// TestUnmutatedEngineIsClean pins the baseline the mutation test depends
+// on: the real engine file alone must produce no outcomeonce findings.
+func TestUnmutatedEngineIsClean(t *testing.T) {
+	if diags := runOnSource(t, "engine.go", readEngineGo(t)); len(diags) != 0 {
+		t.Fatalf("unexpected findings on pristine engine.go:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
+// TestUnmutatedServerIsClean does the same for the live server, whose
+// worker loop, context cancellation, and drain-on-close paths exercise
+// the loop and hand-off rules far harder than the engine does. The one
+// intentional escape (a canceled query's transaction) is suppressed in
+// the source with a scoped, reasoned ignore.
+func TestUnmutatedServerIsClean(t *testing.T) {
+	path := filepath.Join("..", "..", "server", "server.go")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading real source: %v", err)
+	}
+	if diags := runOnSource(t, "server.go", string(b)); len(diags) != 0 {
+		t.Fatalf("unexpected findings on pristine server.go:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
+func readEngineGo(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "engine", "engine.go"))
+	if err != nil {
+		t.Fatalf("reading real source: %v", err)
+	}
+	return string(b)
+}
+
+func runOnSource(t *testing.T, name, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &analysis.Package{
+		Path:  "unitdb/internal/" + strings.TrimSuffix(name, ".go"),
+		Name:  file.Name.Name,
+		Fset:  fset,
+		Files: []*ast.File{file},
+	}
+	var diags []analysis.Diagnostic
+	if err := Analyzer.Run(analysis.NewPass(Analyzer, pkg, &diags)); err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if !analysis.Suppressed(pkg, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

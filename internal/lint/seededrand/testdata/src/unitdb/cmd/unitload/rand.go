@@ -19,5 +19,5 @@ func draws(n int) []float64 {
 }
 
 func suppressed() int {
-	return rand.Int() //unitlint:ignore seededrand
+	return rand.Int() //unitlint:ignore seededrand -- fixture: pins that a scoped, reasoned ignore suppresses
 }

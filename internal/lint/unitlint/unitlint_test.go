@@ -1,6 +1,8 @@
 package unitlint_test
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,14 +47,124 @@ func TestRepoIsClean(t *testing.T) {
 
 func TestSelect(t *testing.T) {
 	all, err := unitlint.Select("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite of 4", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite of 7", len(all), err)
 	}
-	two, err := unitlint.Select("detclock, usmrange")
-	if err != nil || len(two) != 2 || two[0].Name != "detclock" || two[1].Name != "usmrange" {
+	two, err := unitlint.Select("locksafe, outcomeonce")
+	if err != nil || len(two) != 2 || two[0].Name != "locksafe" || two[1].Name != "outcomeonce" {
 		t.Fatalf("Select subset = %v, err %v", two, err)
 	}
 	if _, err := unitlint.Select("nosuch"); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
 		t.Fatalf("Select(nosuch) err = %v, want unknown analyzer", err)
+	}
+}
+
+// writeModule lays out a throwaway single-file module for driver tests.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const dirtySrc = `package scratch
+
+import "math/rand"
+
+func roll() int { return rand.Int() }
+`
+
+// TestMainJSONAndBaseline drives the command entry point end to end:
+// text mode fails with a finding, a baseline generated from the JSON
+// stream makes the same run pass, and deleting the violation turns the
+// baseline entry into a stale warning (still exit 0).
+func TestMainJSONAndBaseline(t *testing.T) {
+	dir := writeModule(t, dirtySrc)
+
+	var text strings.Builder
+	if code := unitlint.Main(&text, dir, "seededrand", unitlint.Options{}, nil); code != 1 {
+		t.Fatalf("dirty run exit = %d, want 1; output:\n%s", code, text.String())
+	}
+	if !strings.Contains(text.String(), "scratch.go") || !strings.Contains(text.String(), "seededrand") {
+		t.Fatalf("text output missing finding: %s", text.String())
+	}
+
+	var jsonOut strings.Builder
+	if code := unitlint.Main(&jsonOut, dir, "seededrand", unitlint.Options{JSON: true}, nil); code != 1 {
+		t.Fatalf("json run exit = %d, want 1", code)
+	}
+	var f unitlint.Finding
+	if err := json.Unmarshal([]byte(strings.SplitN(jsonOut.String(), "\n", 2)[0]), &f); err != nil {
+		t.Fatalf("json output is not JSON lines: %v\n%s", err, jsonOut.String())
+	}
+	if f.File != "scratch.go" || f.Analyzer != "seededrand" || f.Line == 0 {
+		t.Fatalf("finding = %+v", f)
+	}
+
+	// The JSON stream IS the baseline format: write it back and the same
+	// findings are tolerated.
+	baseline := filepath.Join(dir, "lint.baseline")
+	if err := os.WriteFile(baseline, []byte(jsonOut.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var quiet strings.Builder
+	if code := unitlint.Main(&quiet, dir, "seededrand", unitlint.Options{}, nil); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0; output:\n%s", code, quiet.String())
+	}
+
+	// -baseline - ignores the file.
+	var loud strings.Builder
+	if code := unitlint.Main(&loud, dir, "seededrand", unitlint.Options{Baseline: "-"}, nil); code != 1 {
+		t.Fatalf("baseline-disabled run exit = %d, want 1", code)
+	}
+
+	// Fix the violation: the baseline entry goes stale — warned, exit 0.
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"),
+		[]byte("package scratch\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stale strings.Builder
+	if code := unitlint.Main(&stale, dir, "seededrand", unitlint.Options{}, nil); code != 0 {
+		t.Fatalf("stale-baseline run exit = %d, want 0; output:\n%s", code, stale.String())
+	}
+	if !strings.Contains(stale.String(), "stale baseline entry") {
+		t.Fatalf("no stale warning: %s", stale.String())
+	}
+}
+
+// TestIgnoreAudit pins the hardening: a scoped, reasoned ignore
+// suppresses its finding; bare, unreasoned, or misspelled ignores
+// suppress nothing and are findings themselves.
+func TestIgnoreAudit(t *testing.T) {
+	dir := writeModule(t, `package scratch
+
+import "math/rand"
+
+func a() int { return rand.Int() } //unitlint:ignore seededrand -- scratch module rolls dice deliberately
+
+func b() int { return rand.Int() } //unitlint:ignore
+
+func c() int { return rand.Int() } //unitlint:ignore seededrand
+
+func d() { _ = 0 } //unitlint:ignore seededrnad -- typo in the analyzer name
+`)
+	diags, err := unitlint.Run(dir, []string{"./..."}, unitlint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%s", d.Pos.Line, d.Analyzer))
+	}
+	// Line 5 is suppressed. Lines 7 and 9 keep their seededrand findings
+	// AND gain an ignore-audit finding each; line 11 is a bad name.
+	want := []string{"7:ignore", "7:seededrand", "9:ignore", "9:seededrand", "11:ignore"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("audit findings = %v, want %v\nfull: %s", got, want, analysistest.Fprint(diags))
 	}
 }

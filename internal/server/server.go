@@ -297,6 +297,8 @@ func New(cfg Config) (*Server, error) {
 // drained counter tallies them — never a silent drop), and the control
 // loop halts. Close blocks until every worker goroutine has exited; it is
 // idempotent.
+//
+//unitlint:outcome q.tx
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -340,6 +342,8 @@ func (s *Server) Query(req QueryRequest) QueryResponse {
 // (client disconnect) a still-queued query is removed before it ever
 // occupies a worker and resolves as OutcomeCanceled; a query already
 // executing runs to its verdict (the worker's CPU is already spent).
+//
+//unitlint:outcome tx
 func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 	started := time.Now()
 	if req.Freshness <= 0 {
@@ -538,6 +542,10 @@ func (s *Server) RetryAfter() time.Duration {
 	return d
 }
 
+// finalizeLocked records a query's terminal outcome into the USM
+// accountant and feeds the modulation layer; callers hold s.mu.
+//
+//unitlint:outcome tx
 func (s *Server) finalizeLocked(tx *txn.Txn, o txn.Outcome) {
 	tx.Outcome = o
 	s.acct.Record(o)
@@ -547,6 +555,8 @@ func (s *Server) finalizeLocked(tx *txn.Txn, o txn.Outcome) {
 }
 
 // worker pops EDF queries and executes them.
+//
+//unitlint:outcome q.tx
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -566,6 +576,7 @@ func (s *Server) worker() {
 			s.canceled++
 			s.mu.Unlock()
 			q.done <- QueryResponse{Outcome: OutcomeCanceled}
+			//unitlint:ignore outcomeonce -- canceled queries bypass the USM by design: the user is gone, so q.tx stays unresolved and only s.canceled tallies it
 			continue
 		}
 		now := s.now()
