@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet unitlint lint-baseline chaos fuzz ci
+.PHONY: all build test race lint vet unitlint lint-baseline chaos fuzz obs-smoke ci
 
 all: build
 
@@ -51,5 +51,19 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseItems -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz=FuzzQueryHandler -fuzztime=$(FUZZTIME) ./internal/server/
 
+# Observability smoke: boot unitd on an ephemeral local port, drive one
+# query, then lint the /metrics exposition (cmd/obslint retries the fetch
+# while the server boots and fails on any malformed line or missing
+# family). Kills the server whichever way the gate ends.
+OBS_PORT ?= 18411
+obs-smoke:
+	$(GO) build -o bin/unitd ./cmd/unitd
+	$(GO) build -o bin/obslint ./cmd/obslint
+	./bin/unitd -addr 127.0.0.1:$(OBS_PORT) -cr 0.2 -cfm 0.8 -cfs 0.2 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	./bin/obslint -url http://127.0.0.1:$(OBS_PORT)/metrics -timeout 15s \
+	  -require unit_queries_total,unit_query_latency_seconds,unit_usm_window,unit_usm,unit_admission_cflex,unit_queue_length,unit_lbc_decisions_total,unit_lbc_actions_total
+
 # Everything CI runs, in CI's order.
-ci: build lint test race chaos
+ci: build lint test race chaos obs-smoke

@@ -1,0 +1,97 @@
+// Command obslint validates a Prometheus text exposition — the make
+// obs-smoke gate boots unitd, points obslint at it, and fails CI on any
+// malformed line or missing metric family.
+//
+// Usage:
+//
+//	obslint -url http://localhost:8080/metrics -timeout 10s \
+//	    -require unit_queries_total,unit_query_latency_seconds
+//	obslint < exposition.txt
+//
+// With -url, the fetch retries until -timeout so the gate can race the
+// server's boot; without it, stdin is linted once. Exit status 0 means a
+// well-formed exposition carrying every required family.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"unitdb/internal/obs/promtext"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	url := flag.String("url", "", "metrics endpoint to fetch (empty = read stdin)")
+	timeout := flag.Duration("timeout", 10*time.Second, "total budget for fetch retries while the server boots")
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	var body io.Reader = os.Stdin
+	if *url != "" {
+		text, err := fetch(*url, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obslint: %v\n", err)
+			return 1
+		}
+		body = strings.NewReader(text)
+	}
+
+	families, err := promtext.Lint(body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obslint: malformed exposition: %v\n", err)
+		return 1
+	}
+
+	missing := 0
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && families[name] == 0 {
+				fmt.Fprintf(os.Stderr, "obslint: required family %s is missing\n", name)
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		return 1
+	}
+	fmt.Printf("obslint: ok (%d families)\n", len(families))
+	return 0
+}
+
+// fetch GETs the exposition, retrying until the budget expires so the
+// caller can start the server and obslint concurrently.
+func fetch(url string, budget time.Duration) (string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for {
+		resp, err := client.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return string(body), nil
+			}
+			if rerr != nil {
+				err = rerr
+			} else {
+				err = fmt.Errorf("GET %s: %s", url, resp.Status)
+			}
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("gave up after %v: %w", budget, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -10,8 +10,12 @@
 //
 //	GET  /query?items=3,5&deadline=200ms&work=20ms&freshness=0.9
 //	POST /update?item=3&value=1.23&work=5ms
-//	GET  /stats
+//	GET  /stats[?window=30s]
+//	GET  /metrics              (Prometheus text exposition)
+//	GET  /debug/trace?n=100    (query-lifecycle span events, JSON)
+//	GET  /debug/controller?n=50 (LBC decision log, JSON)
 //	GET  /healthz
+//	GET  /debug/pprof/...      (only with -pprof)
 //
 // unitd shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight HTTP requests get -drain to finish, then the query
@@ -27,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +55,7 @@ func run() int {
 	readHeader := flag.Duration("read-header-timeout", 5*time.Second, "time allowed to read request headers (slowloris guard)")
 	idle := flag.Duration("idle-timeout", 60*time.Second, "keep-alive idle connection timeout")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace for in-flight HTTP requests")
+	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiles reveal internals)")
 	flag.Parse()
 
 	cfg := unit.DefaultServerConfig()
@@ -65,9 +71,24 @@ func run() int {
 	}
 	defer srv.Close()
 
+	handler := srv.Handler()
+	if *withPprof {
+		// Explicit registrations on an outer mux, not the blank import:
+		// importing net/http/pprof would silently publish the profiles on
+		// http.DefaultServeMux regardless of the flag.
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeader,
 		IdleTimeout:       *idle,
 	}

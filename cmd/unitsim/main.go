@@ -4,6 +4,12 @@
 // Usage:
 //
 //	unitsim -policy UNIT -volume med -dist unif -cr 0 -cfm 0 -cfs 0 [-quick]
+//	unitsim -quick -trace run.jsonl   # dump the query lifecycle + LBC decisions
+//
+// With -trace, every span event (arrive, admit/reject, queue, execute,
+// outcome) and every controller decision of the run is written to the
+// given file as JSON Lines, ordered by simulation sequence. Same flags,
+// same seeds → byte-identical dumps.
 package main
 
 import (
@@ -16,6 +22,10 @@ import (
 	"unitdb/internal/workload"
 )
 
+// traceCap sizes the -trace ring buffers generously: a full-scale run
+// emits ~6 events per query, so 2^22 spans hold it without drops.
+const traceCap = 1 << 22
+
 func main() {
 	policy := flag.String("policy", "UNIT", "policy: UNIT, IMU, ODU or QMF")
 	volume := flag.String("volume", "med", "update volume: low, med or high")
@@ -25,6 +35,7 @@ func main() {
 	cfs := flag.Float64("cfs", 0, "data-stale penalty C_fs")
 	quick := flag.Bool("quick", false, "use the reduced-scale trace")
 	seed := flag.Uint64("seed", 42, "query-trace seed")
+	tracePath := flag.String("trace", "", "write the query-lifecycle trace and controller decision log to this file as JSONL")
 	flag.Parse()
 
 	cfg := unit.DefaultConfig()
@@ -43,9 +54,20 @@ func main() {
 		fatalf("unknown distribution %q (unif, pos, neg)", *dist)
 	}
 
+	var rec *unit.TraceRecorder
+	if *tracePath != "" {
+		rec = unit.NewTraceRecorder(traceCap, traceCap)
+		cfg.Trace = rec
+	}
+
 	res, err := unit.Run(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if rec != nil {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	fmt.Println(res)
 	fmt.Printf("counts: success=%d rejected=%d dmf=%d dsf=%d\n",
@@ -80,6 +102,26 @@ func parseDist(s string) (workload.Distribution, bool) {
 		return workload.NegativeCorrelation, true
 	}
 	return 0, false
+}
+
+// writeTrace dumps the recorder as JSONL, reporting ring drops (a
+// truncated dump is still valid, just not the whole run).
+func writeTrace(path string, rec *unit.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if ev, dec := rec.Dropped(); ev > 0 || dec > 0 {
+		fmt.Fprintf(os.Stderr, "unitsim: trace ring dropped %d events and %d decisions; the dump covers only the tail\n", ev, dec)
+	}
+	return nil
 }
 
 func fatalf(format string, args ...any) {

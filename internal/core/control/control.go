@@ -117,18 +117,36 @@ func (l *LBC) DropTriggered(windowUSM float64) bool {
 	return dropped
 }
 
+// Costs are the effective per-query outcome costs one decision compared:
+// the average weighted rejection, DMF and DSF penalties (R, F_m, F_s of
+// paper Eq. 4), or — in the all-zero-weights fallback of Fig. 2 lines
+// 2–3 — the raw failure ratios standing in for them. The decision log
+// (internal/obs/trace) records them alongside the chosen action.
+type Costs struct {
+	R  float64 `json:"r"`
+	Fm float64 `json:"fm"`
+	Fs float64 `json:"fs"`
+}
+
 // Decide runs the Adaptive Allocation Algorithm (paper Fig. 2) on the
 // window's outcome counts under the controller's own weights. For
 // heterogeneous preference populations use DecideTally, which carries the
 // per-query weighted costs.
 func (l *LBC) Decide(window usm.Counts) Action {
+	a, _ := l.DecideExplained(window)
+	return a
+}
+
+// DecideExplained is Decide returning, alongside the action, the
+// effective costs compared — see DecideTallyExplained.
+func (l *LBC) DecideExplained(window usm.Counts) (Action, Costs) {
 	var t usm.Tally
 	t.Counts = window
 	t.Gain = float64(window.Success)
 	t.RCost = l.weights.Cr * float64(window.Rejected)
 	t.FmCost = l.weights.Cfm * float64(window.DMF)
 	t.FsCost = l.weights.Cfs * float64(window.DSF)
-	return l.DecideTally(t)
+	return l.DecideTallyExplained(t)
 }
 
 // DecideTally runs the Adaptive Allocation Algorithm on a weighted tally:
@@ -139,11 +157,22 @@ func (l *LBC) Decide(window usm.Counts) Action {
 // failure ratios stand in, per Fig. 2 lines 2–3. A window with no failures
 // yields no action.
 func (l *LBC) DecideTally(window usm.Tally) Action {
+	a, _ := l.DecideTallyExplained(window)
+	return a
+}
+
+// DecideTallyExplained is DecideTally returning, alongside the action,
+// the effective costs the decision compared — the controller's inputs,
+// for the decision log. It is behaviorally identical to DecideTally
+// (same randomness consumption), so instrumented and bare callers replay
+// the same runs.
+func (l *LBC) DecideTallyExplained(window usm.Tally) (Action, Costs) {
 	r, fm, fs := window.AvgCosts()
 	if r == 0 && fm == 0 && fs == 0 {
 		_, rr, rfm, rfs := window.Counts.Ratios()
 		r, fm, fs = rr, rfm, rfs
 	}
+	costs := Costs{R: r, Fm: fm, Fs: fs}
 	max := r
 	if fm > max {
 		max = fm
@@ -152,7 +181,7 @@ func (l *LBC) DecideTally(window usm.Tally) Action {
 		max = fs
 	}
 	if max == 0 {
-		return Action{}
+		return Action{}, costs
 	}
 	// Collect the argmax set and break ties randomly (paper Fig. 2 line 4).
 	var candidates []int
@@ -172,10 +201,10 @@ func (l *LBC) DecideTally(window usm.Tally) Action {
 	l.decisions++
 	switch pick {
 	case 0: // rejection cost dominates
-		return Action{LoosenAC: true}
+		return Action{LoosenAC: true}, costs
 	case 1: // DMF cost dominates
-		return Action{DegradeUpdate: true, TightenAC: true}
+		return Action{DegradeUpdate: true, TightenAC: true}, costs
 	default: // DSF cost dominates
-		return Action{UpgradeUpdate: true}
+		return Action{UpgradeUpdate: true}, costs
 	}
 }

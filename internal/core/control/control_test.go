@@ -139,3 +139,42 @@ func TestDecisionCounter(t *testing.T) {
 		t.Fatalf("decisions = %d", dec)
 	}
 }
+
+// TestDecideTallyExplainedCosts pins the decision log's inputs: the
+// returned costs are the window's average weighted penalties, and in the
+// all-zero-weights fallback the raw failure ratios stand in.
+func TestDecideTallyExplainedCosts(t *testing.T) {
+	l := newLBC(usm.Weights{Cr: 0.5, Cfm: 1, Cfs: 0.25})
+	var w usm.Tally
+	w.Counts = usm.Counts{Success: 6, Rejected: 2, DMF: 1, DSF: 1}
+	w.RCost = 0.5 * 2
+	w.FmCost = 1 * 1
+	w.FsCost = 0.25 * 1
+	a, c := l.DecideTallyExplained(w)
+	if c.R != 0.1 || c.Fm != 0.1 || c.Fs != 0.025 {
+		t.Fatalf("costs = %+v, want averages over 10 queries", c)
+	}
+	if a.None() {
+		t.Fatal("dominant cost produced no action")
+	}
+
+	// Zero-weight fallback: ratios stand in (Fig. 2 lines 2-3).
+	l2 := newLBC(usm.Weights{})
+	var z usm.Tally
+	z.Counts = usm.Counts{Success: 5, DMF: 5}
+	a2, c2 := l2.DecideTallyExplained(z)
+	if c2.Fm != 0.5 || c2.R != 0 || c2.Fs != 0 {
+		t.Fatalf("fallback costs = %+v, want DMF ratio 0.5", c2)
+	}
+	if !a2.DegradeUpdate || !a2.TightenAC {
+		t.Fatalf("DMF-dominant fallback action = %v", a2)
+	}
+
+	// A clean window decides nothing and costs nothing.
+	var clean usm.Tally
+	clean.Counts = usm.Counts{Success: 10}
+	a3, c3 := l2.DecideTallyExplained(clean)
+	if !a3.None() || c3 != (Costs{}) {
+		t.Fatalf("clean window: action %v costs %+v", a3, c3)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"unitdb/internal/core/ufm"
 	"unitdb/internal/core/usm"
 	"unitdb/internal/engine"
+	"unitdb/internal/obs/trace"
 	"unitdb/internal/stats"
 	"unitdb/internal/txn"
 )
@@ -200,17 +201,35 @@ func (u *UNIT) OnControlTick() {
 	}
 	now := u.e.Now()
 	windowUSM := u.sinceDecision.USM()
+	samples := u.sinceDecision.Counts.Total()
 	trigger := now-u.lastDecision >= u.cfg.GracePeriod
-	if u.lbc.DropTriggered(windowUSM) {
+	dropped := u.lbc.DropTriggered(windowUSM)
+	if dropped {
 		trigger = true
 	}
 	if !trigger {
 		return
 	}
-	action := u.lbc.DecideTally(u.sinceDecision)
+	action, costs := u.lbc.DecideTallyExplained(u.sinceDecision)
 	u.sinceDecision = usm.Tally{}
 	u.lastDecision = now
 	u.apply(action)
+	if rec := u.e.TraceRecorder(); rec != nil {
+		// Logged after apply so CFlex and the degraded count show the
+		// actuator settings the decision produced (paper Fig. 2 state).
+		rec.RecordDecision(trace.Decision{
+			T:             now,
+			Samples:       samples,
+			WindowUSM:     windowUSM,
+			RCost:         costs.R,
+			FmCost:        costs.Fm,
+			FsCost:        costs.Fs,
+			DropTriggered: dropped,
+			Action:        action.String(),
+			CFlex:         u.ac.CFlex(),
+			DegradedItems: u.mod.DegradedCount(),
+		})
+	}
 }
 
 func (u *UNIT) apply(a control.Action) {

@@ -14,6 +14,7 @@ import (
 	"unitdb/internal/datastore"
 	"unitdb/internal/eventsim"
 	"unitdb/internal/lockmgr"
+	"unitdb/internal/obs/trace"
 	"unitdb/internal/readyq"
 	"unitdb/internal/stats"
 	"unitdb/internal/txn"
@@ -114,6 +115,13 @@ type Config struct {
 	// Disturbance injects deterministic faults into the replay; nil runs
 	// the workload undisturbed.
 	Disturbance Disturbance
+	// Trace, when non-nil, records the query lifecycle (arrive →
+	// admit/reject → queue → execute → outcome) and the policy's
+	// controller decisions, stamped with virtual time. The recorder is
+	// write-only from the engine's point of view — it feeds nothing back —
+	// so a nil recorder leaves a run bitwise-unchanged and same-seed runs
+	// record identical streams (both regression-tested in trace_test.go).
+	Trace *trace.Recorder
 }
 
 // NewConfig returns a config with the recommended defaults.
@@ -209,6 +217,17 @@ func (e *Engine) Store() *datastore.Store { return e.store }
 
 // Accountant returns the USM accountant (per-preference-class aware).
 func (e *Engine) Accountant() *usm.ClassAccountant { return e.acct }
+
+// TraceRecorder returns the run's trace recorder, nil when tracing is
+// off. Policies log their controller decisions into it.
+func (e *Engine) TraceRecorder() *trace.Recorder { return e.cfg.Trace }
+
+// record emits one span event when tracing is on.
+func (e *Engine) record(ev trace.Event) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Record(ev)
+	}
+}
 
 // WeightsFor resolves a transaction's effective USM weights: its
 // preference class's weights when the workload defines classes, the run's
@@ -354,12 +373,16 @@ func (e *Engine) presentQuery(spec workload.QuerySpec) {
 	q := txn.NewQuery(e.nextID, e.sim.Now(), spec.Items, exec, spec.RelDeadline, spec.FreshReq)
 	q.EstExec = spec.EstExec
 	q.PrefClass = spec.PrefClass
+	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindArrive, Query: q.ID, Items: len(q.Items), Deadline: q.Deadline})
 	if !e.policy.AdmitQuery(q) {
+		e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindReject, Query: q.ID})
 		e.finalizeQuery(q, txn.OutcomeRejected)
 		return
 	}
+	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindAdmit, Query: q.ID})
 	e.deadlineEvents[q] = e.sim.At(q.Deadline, func() { e.queryDeadline(q) })
 	e.ready.Push(q)
+	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindQueue, Query: q.ID})
 	e.dispatch()
 }
 
@@ -516,6 +539,9 @@ func (e *Engine) resolveAbortedQuery(v *txn.Txn) {
 }
 
 func (e *Engine) start(t *txn.Txn) {
+	if t.Class == txn.ClassQuery {
+		e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindExecute, Query: t.ID, Wait: e.sim.Now() - t.Arrival})
+	}
 	if t.Class == txn.ClassQuery && !t.ReadSampled() {
 		// The query reads its items as it begins executing; the DSF check
 		// at commit judges the freshness of what was actually read. The
@@ -652,6 +678,7 @@ func (e *Engine) finalizeQuery(q *txn.Txn, o txn.Outcome) {
 		e.sim.Cancel(ev)
 		delete(e.deadlineEvents, q)
 	}
+	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindOutcome, Query: q.ID, Outcome: o.String(), Fresh: q.ReadFreshness})
 	e.acct.Record(o, q.PrefClass)
 	e.policy.OnQueryDone(q)
 }

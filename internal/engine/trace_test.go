@@ -1,0 +1,147 @@
+// Trace-recorder regression tests: attaching a recorder must not perturb
+// a run (the recorder is write-only, like the Disturbance hooks pinned in
+// faults), and the recorded stream must itself be a pure function of
+// (workload, weights, seed) — same-seed dumps are byte-identical.
+package engine_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"unitdb/internal/core"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/obs/trace"
+)
+
+// runTraced runs UNIT on the deterministic workload with an attached
+// recorder (nil rec = tracing off) and returns the results plus the
+// JSONL dump (empty for nil).
+func runTraced(t *testing.T, rec *trace.Recorder) (*engine.Results, []byte) {
+	t.Helper()
+	w := detWorkload(t)
+	weights := usm.Weights{Cr: 0.25, Cfm: 0.75, Cfs: 0.25}
+	pcfg := core.DefaultConfig(weights)
+	pcfg.Seed = 7
+	cfg := engine.Config{Workload: w, Weights: weights, Seed: 11, PhaseUpdates: true, Trace: rec}
+	e, err := engine.New(cfg, core.New(pcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if rec != nil {
+		if err := rec.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, buf.Bytes()
+}
+
+const traceCap = 1 << 20 // hold the whole small run, no ring drops
+
+// TestNilRecorderBitwiseUnchanged: results with tracing on and off must
+// be DeepEqual — the recorder feeds nothing back into the run.
+func TestNilRecorderBitwiseUnchanged(t *testing.T) {
+	rOff, _ := runTraced(t, nil)
+	rOn, dump := runTraced(t, trace.New(traceCap, traceCap))
+	if !reflect.DeepEqual(rOff, rOn) {
+		t.Errorf("attaching a trace recorder changed the run:\n  off: %v\n  on:  %v", rOff, rOn)
+	}
+	if len(dump) == 0 {
+		t.Fatal("traced run dumped nothing")
+	}
+}
+
+// TestSameSeedTraceByteIdentical: two same-seed runs must dump
+// byte-identical JSONL streams, spans and controller decisions included.
+func TestSameSeedTraceByteIdentical(t *testing.T) {
+	_, d1 := runTraced(t, trace.New(traceCap, traceCap))
+	_, d2 := runTraced(t, trace.New(traceCap, traceCap))
+	if !bytes.Equal(d1, d2) {
+		a, b := firstDiffLine(d1, d2)
+		t.Errorf("same-seed trace dumps differ (%d vs %d bytes):\n  %s\nvs\n  %s", len(d1), len(d2), a, b)
+	}
+	if !bytes.Contains(d1, []byte(`"kind":"decision"`)) {
+		t.Error("trace carries no controller decisions; the LBC never logged")
+	}
+	for _, kind := range []string{"arrive", "admit", "queue", "execute", "outcome"} {
+		if !bytes.Contains(d1, []byte(`"kind":"`+kind+`"`)) {
+			t.Errorf("trace carries no %q span events", kind)
+		}
+	}
+}
+
+// TestDifferentSeedTraceDiverges: the stream must actually depend on the
+// seed, or the byte-identity above would be vacuous.
+func TestDifferentSeedTraceDiverges(t *testing.T) {
+	w := detWorkload(t)
+	dump := func(seed uint64) []byte {
+		rec := trace.New(traceCap, traceCap)
+		weights := usm.Weights{Cr: 0.25, Cfm: 0.75, Cfs: 0.25}
+		pcfg := core.DefaultConfig(weights)
+		pcfg.Seed = 7
+		e, err := engine.New(engine.Config{Workload: w, Weights: weights, Seed: seed, PhaseUpdates: true, Trace: rec}, core.New(pcfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if bytes.Equal(dump(11), dump(12)) {
+		t.Error("different engine seeds dumped identical traces; the stream is not seed-sensitive")
+	}
+}
+
+// TestTraceSpansConserveOutcomes: every query in the stream shows exactly
+// one arrive and exactly one terminal outcome — the trace-level image of
+// the USM conservation law.
+func TestTraceSpansConserveOutcomes(t *testing.T) {
+	rec := trace.New(traceCap, traceCap)
+	res, _ := runTraced(t, rec)
+	arrives := map[int64]int{}
+	outcomes := map[int64]int{}
+	for _, ev := range rec.Events(0) {
+		switch ev.Kind {
+		case trace.KindArrive:
+			arrives[ev.Query]++
+		case trace.KindOutcome:
+			outcomes[ev.Query]++
+		}
+	}
+	if len(arrives) != res.Counts.Total() {
+		t.Errorf("trace saw %d queries arrive, results finalized %d", len(arrives), res.Counts.Total())
+	}
+	for q, n := range arrives {
+		if n != 1 {
+			t.Fatalf("query %d arrived %d times", q, n)
+		}
+		if outcomes[q] != 1 {
+			t.Fatalf("query %d has %d outcome events, want exactly 1", q, outcomes[q])
+		}
+	}
+	if evDropped, _ := rec.Dropped(); evDropped != 0 {
+		t.Fatalf("ring dropped %d events; capacity too small for the run", evDropped)
+	}
+}
+
+// firstDiffLine locates the first differing line of two dumps.
+func firstDiffLine(a, b []byte) (string, string) {
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return string(la[i]), string(lb[i])
+		}
+	}
+	return "<one dump is a prefix of the other>", ""
+}

@@ -39,6 +39,7 @@ var CorePrefixes = []string{
 	"unitdb/internal/freshness",
 	"unitdb/internal/lockmgr",
 	"unitdb/internal/lottery",
+	"unitdb/internal/obs",
 	"unitdb/internal/readyq",
 	"unitdb/internal/stats",
 	"unitdb/internal/txn",

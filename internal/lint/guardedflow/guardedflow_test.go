@@ -24,8 +24,8 @@ func TestFixtures(t *testing.T) {
 func TestMutationAccessAfterUnlock(t *testing.T) {
 	src := readServerGo(t)
 	mutated := strings.Replace(src,
-		"s.updatesApplied++\n\ts.mu.Unlock()",
-		"s.mu.Unlock()\n\ts.updatesApplied++", 1)
+		"s.updatesApplied++\n\ts.obs.staleness.Set(float64(s.store.StaleItems()))\n\ts.mu.Unlock()",
+		"s.obs.staleness.Set(float64(s.store.StaleItems()))\n\ts.mu.Unlock()\n\ts.updatesApplied++", 1)
 	if mutated == src {
 		t.Fatal("mutation had no effect; did internal/server/server.go change shape?")
 	}

@@ -1,0 +1,210 @@
+// Package promtext renders a metrics.Registry snapshot in the Prometheus
+// text exposition format (version 0.0.4) and lints exposition streams
+// for the obs-smoke CI check. Only the stdlib is used; the writer covers
+// the three family kinds the registry supports (counter, gauge,
+// histogram with cumulative le buckets) and the escaping rules for help
+// text and label values.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"unitdb/internal/obs/metrics"
+)
+
+// ContentType is the HTTP Content-Type of the exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value; infinities use the exposition
+// spelling.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders {k="v",...}; empty label sets render nothing.
+func renderLabels(labels []metrics.Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Write renders the snapshot families in their given (sorted) order.
+func Write(w io.Writer, families []metrics.FamilySnapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Series {
+			if f.Kind == metrics.KindHistogram && s.Hist != nil {
+				writeHistogram(bw, f.Name, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.Name, renderLabels(s.Labels), formatFloat(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative le buckets,
+// the implicit +Inf bucket, then _sum and _count.
+func writeHistogram(bw *bufio.Writer, name string, s metrics.SeriesSnapshot) {
+	h := s.Hist
+	for i, ub := range h.UpperBounds {
+		labels := append(append([]metrics.Label(nil), s.Labels...),
+			metrics.Label{Key: "le", Value: formatFloat(ub)})
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", name, renderLabels(labels), h.Cumulative[i])
+	}
+	inf := append(append([]metrics.Label(nil), s.Labels...), metrics.Label{Key: "le", Value: "+Inf"})
+	fmt.Fprintf(bw, "%s_bucket%s %d\n", name, renderLabels(inf), h.Count)
+	fmt.Fprintf(bw, "%s_sum%s %s\n", name, renderLabels(s.Labels), formatFloat(h.Sum))
+	fmt.Fprintf(bw, "%s_count%s %d\n", name, renderLabels(s.Labels), h.Count)
+}
+
+var (
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+-?\d+)?$`)
+	labelRE  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	helpRE   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
+	typeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// histSuffixes are the sample-name suffixes a histogram or summary
+// family declares via one TYPE line for the base name.
+var histSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// baseName maps a sample name to its family name given the declared
+// types: histogram samples report under their base family.
+func baseName(name string, types map[string]string) string {
+	for _, suf := range histSuffixes {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// Lint validates an exposition stream: every line is a well-formed
+// comment, HELP, TYPE or sample; TYPE lines are unique per family and
+// precede that family's samples; label pairs and sample values parse.
+// It returns the families that exposed at least one sample, so callers
+// can assert required metrics are present.
+func Lint(r io.Reader) (families map[string]int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	types := make(map[string]string)
+	seen := make(map[string]int)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# HELP ") {
+				if !helpRE.MatchString(line) {
+					return seen, fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				m := typeRE.FindStringSubmatch(line)
+				if m == nil {
+					return seen, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+				}
+				name := m[1]
+				if _, dup := types[name]; dup {
+					return seen, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if seen[name] > 0 {
+					return seen, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				types[name] = m[2]
+				continue
+			}
+			continue // plain comment
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return seen, fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if m[2] != "" && labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !labelRE.MatchString(pair) {
+					return seen, fmt.Errorf("line %d: malformed label pair %q", lineNo, pair)
+				}
+			}
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, perr := strconv.ParseFloat(value, 64); perr != nil {
+				return seen, fmt.Errorf("line %d: unparseable value %q", lineNo, value)
+			}
+		}
+		seen[baseName(name, types)]++
+	}
+	if serr := sc.Err(); serr != nil {
+		return seen, serr
+	}
+	return seen, nil
+}
+
+// splitLabels splits a rendered label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++ // skip escaped char
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

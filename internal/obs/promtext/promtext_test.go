@@ -1,0 +1,100 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"unitdb/internal/obs/metrics"
+)
+
+// TestGoldenExposition pins the exact text rendering: family ordering by
+// name, series ordering by label set, histogram bucket/sum/count layout,
+// and escaping of help text and label values.
+func TestGoldenExposition(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("unit_queries_total", "Finalized query outcomes.",
+		metrics.Label{Key: "outcome", Value: "success"}).Add(12)
+	r.Counter("unit_queries_total", "Finalized query outcomes.",
+		metrics.Label{Key: "outcome", Value: "rejected"}).Add(3)
+	r.Gauge("unit_usm_window", "Windowed USM.").Set(0.75)
+	h := r.Histogram("unit_query_latency_seconds", "Query latency.", 0, 1, 2)
+	h.Observe(0.1)
+	h.Observe(0.6)
+	h.Observe(2) // overflow → +Inf bucket only
+	r.Counter("unit_escapes_total", "Help with \\ backslash\nand newline.",
+		metrics.Label{Key: "path", Value: "a\"b\\c\nd"}).Inc()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP unit_escapes_total Help with \\ backslash\nand newline.`,
+		`# TYPE unit_escapes_total counter`,
+		`unit_escapes_total{path="a\"b\\c\nd"} 1`,
+		`# HELP unit_queries_total Finalized query outcomes.`,
+		`# TYPE unit_queries_total counter`,
+		`unit_queries_total{outcome="rejected"} 3`,
+		`unit_queries_total{outcome="success"} 12`,
+		`# HELP unit_query_latency_seconds Query latency.`,
+		`# TYPE unit_query_latency_seconds histogram`,
+		`unit_query_latency_seconds_bucket{le="0.5"} 1`,
+		`unit_query_latency_seconds_bucket{le="1"} 2`,
+		`unit_query_latency_seconds_bucket{le="+Inf"} 3`,
+		`unit_query_latency_seconds_sum 2.7`,
+		`unit_query_latency_seconds_count 3`,
+		`# HELP unit_usm_window Windowed USM.`,
+		`# TYPE unit_usm_window gauge`,
+		`unit_usm_window 0.75`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteOutputPassesLint(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("unit_a_total", "a", metrics.Label{Key: "k", Value: `quo"te,comma`}).Inc()
+	r.Histogram("unit_h", "h", 0, 2, 4).Observe(0.5)
+	r.Gauge("unit_g", "g").Set(-1.25)
+	var buf bytes.Buffer
+	if err := Write(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := Lint(&buf)
+	if err != nil {
+		t.Fatalf("self-produced exposition failed lint: %v", err)
+	}
+	for _, name := range []string{"unit_a_total", "unit_h", "unit_g"} {
+		if fams[name] == 0 {
+			t.Errorf("family %s not seen by lint (got %v)", name, fams)
+		}
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"bad sample name", "9metric 1\n"},
+		{"missing value", "unit_x\n"},
+		{"bad value", "unit_x notanumber\n"},
+		{"bad label pair", `unit_x{k=unquoted} 1` + "\n"},
+		{"bad TYPE", "# TYPE unit_x flavor\n"},
+		{"duplicate TYPE", "# TYPE unit_x counter\n# TYPE unit_x counter\n"},
+		{"TYPE after samples", "unit_x 1\n# TYPE unit_x counter\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Lint(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: lint accepted %q", tc.name, tc.in)
+		}
+	}
+	// Valid corner cases must pass.
+	ok := "# a free comment\n" +
+		"# TYPE unit_ok counter\nunit_ok{a=\"x,y\",b=\"z\"} 5 1700000000\n" +
+		"unit_inf +Inf\nunit_nan NaN\n"
+	if _, err := Lint(strings.NewReader(ok)); err != nil {
+		t.Errorf("lint rejected valid input: %v", err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package trace records the query lifecycle and the controller's
+// allocation decisions into bounded ring buffers, for the live server's
+// /debug endpoints and for deterministic offline dumps from the
+// simulator (unitsim -trace).
+//
+// A Recorder never reads a clock: callers stamp every record with their
+// own time base — virtual seconds in the engine, wall seconds since
+// start in the live server — so attaching one to the deterministic
+// engine cannot perturb a run, and same-seed runs dump byte-identical
+// JSONL streams. Events and decisions share one sequence counter, so a
+// merged dump totally orders the run.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Kind discriminates the span events of one query's lifecycle.
+type Kind string
+
+// Query lifecycle span events, in the order a query can emit them:
+// arrive, then admit or reject, then queue, execute and outcome. A
+// preempted or restarted query may execute more than once; its terminal
+// outcome is emitted exactly once. KindDecision tags controller records
+// in merged dumps.
+const (
+	KindArrive   Kind = "arrive"
+	KindAdmit    Kind = "admit"
+	KindReject   Kind = "reject"
+	KindQueue    Kind = "queue"
+	KindExecute  Kind = "execute"
+	KindOutcome  Kind = "outcome"
+	KindDecision Kind = "decision"
+)
+
+// Event is one span event of a query's lifecycle. T is in the caller's
+// time base (sim seconds or wall seconds since server start).
+type Event struct {
+	Seq      uint64  `json:"seq"`
+	T        float64 `json:"t"`
+	Kind     Kind    `json:"kind"`
+	Query    int64   `json:"query"`
+	Items    int     `json:"items,omitempty"`    // item count, on arrive
+	Deadline float64 `json:"deadline,omitempty"` // absolute deadline, on arrive
+	Wait     float64 `json:"wait,omitempty"`     // time since arrival, on execute
+	Outcome  string  `json:"outcome,omitempty"`  // terminal outcome, on outcome
+	Fresh    float64 `json:"fresh,omitempty"`    // freshness read, on outcome
+}
+
+// Decision is one Load Balancing Controller firing: the windowed inputs
+// it decided on (weighted costs R, F_m, F_s of paper Eq. 4 and the
+// window USM), the chosen action (Fig. 2 lines 5–11), and the actuator
+// settings after applying it — admission's C_flex and the number of
+// update-degraded items.
+type Decision struct {
+	Seq           uint64  `json:"seq"`
+	T             float64 `json:"t"`
+	Samples       int     `json:"samples"`
+	WindowUSM     float64 `json:"window_usm"`
+	RCost         float64 `json:"r_cost"`
+	FmCost        float64 `json:"fm_cost"`
+	FsCost        float64 `json:"fs_cost"`
+	DropTriggered bool    `json:"drop_triggered,omitempty"`
+	Action        string  `json:"action"`
+	CFlex         float64 `json:"cflex"`
+	DegradedItems int     `json:"degraded_items"`
+}
+
+// Default ring capacities.
+const (
+	DefaultEventCap    = 4096
+	DefaultDecisionCap = 1024
+)
+
+// Recorder buffers the last EventCap events and DecisionCap decisions.
+// It is safe for concurrent use; the engine drives it from a single
+// goroutine, the live server from many.
+type Recorder struct {
+	mu        sync.Mutex
+	seq       uint64     // guarded by mu; shared by events and decisions
+	events    []Event    // guarded by mu; ring, grown lazily to cap
+	eventCap  int        // immutable after New
+	head      int        // guarded by mu; next write slot once full
+	dropped   uint64     // guarded by mu; events overwritten
+	decisions []Decision // guarded by mu; ring, grown lazily to cap
+	decCap    int        // immutable after New
+	dhead     int        // guarded by mu
+	ddropped  uint64     // guarded by mu; decisions overwritten
+}
+
+// New creates a recorder keeping the last eventCap events and decCap
+// decisions; non-positive capacities take the defaults.
+func New(eventCap, decCap int) *Recorder {
+	if eventCap <= 0 {
+		eventCap = DefaultEventCap
+	}
+	if decCap <= 0 {
+		decCap = DefaultDecisionCap
+	}
+	return &Recorder{eventCap: eventCap, decCap: decCap}
+}
+
+// Record appends one span event, stamping its sequence number.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ev.Seq = r.seq
+	if len(r.events) < r.eventCap {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.head] = ev
+	r.head = (r.head + 1) % r.eventCap
+	r.dropped++
+}
+
+// RecordDecision appends one controller decision, stamping its sequence
+// number from the shared counter.
+func (r *Recorder) RecordDecision(d Decision) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	d.Seq = r.seq
+	if len(r.decisions) < r.decCap {
+		r.decisions = append(r.decisions, d)
+		return
+	}
+	r.decisions[r.dhead] = d
+	r.dhead = (r.dhead + 1) % r.decCap
+	r.ddropped++
+}
+
+// eventsLocked returns the buffered events oldest-first; callers hold mu.
+func (r *Recorder) eventsLocked() []Event {
+	out := make([]Event, 0, len(r.events))
+	if len(r.events) < r.eventCap {
+		return append(out, r.events...)
+	}
+	out = append(out, r.events[r.head:]...)
+	return append(out, r.events[:r.head]...)
+}
+
+// decisionsLocked returns the buffered decisions oldest-first; callers
+// hold mu.
+func (r *Recorder) decisionsLocked() []Decision {
+	out := make([]Decision, 0, len(r.decisions))
+	if len(r.decisions) < r.decCap {
+		return append(out, r.decisions...)
+	}
+	out = append(out, r.decisions[r.dhead:]...)
+	return append(out, r.decisions[:r.dhead]...)
+}
+
+// Events returns the most recent n events, oldest-first. n <= 0 or
+// n beyond the buffer returns everything buffered.
+func (r *Recorder) Events(n int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	all := r.eventsLocked()
+	if n > 0 && n < len(all) {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Decisions returns the most recent n decisions, oldest-first. n <= 0 or
+// n beyond the buffer returns everything buffered.
+func (r *Recorder) Decisions(n int) []Decision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	all := r.decisionsLocked()
+	if n > 0 && n < len(all) {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Dropped reports how many events and decisions the rings have
+// overwritten since creation.
+func (r *Recorder) Dropped() (events, decisions uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped, r.ddropped
+}
+
+// decisionLine is a Decision tagged for the merged JSONL stream.
+type decisionLine struct {
+	Kind Kind `json:"kind"`
+	Decision
+}
+
+// WriteJSONL dumps the buffered events and decisions as one JSON object
+// per line, merged into sequence order. Events carry their lifecycle
+// kind; decisions are tagged kind "decision". The encoding is a pure
+// function of the buffer contents, so same-seed simulator runs dump
+// byte-identical files.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	r.mu.Lock()
+	events := r.eventsLocked()
+	decisions := r.decisionsLocked()
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	i, j := 0, 0
+	for i < len(events) || j < len(decisions) {
+		var v any
+		if j >= len(decisions) || (i < len(events) && events[i].Seq < decisions[j].Seq) {
+			v = events[i]
+			i++
+		} else {
+			v = decisionLine{Kind: KindDecision, Decision: decisions[j]}
+			j++
+		}
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

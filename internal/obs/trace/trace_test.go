@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingKeepsLastN(t *testing.T) {
+	r := New(4, 2)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{T: float64(i), Kind: KindArrive, Query: int64(i)})
+	}
+	got := r.Events(0)
+	if len(got) != 4 {
+		t.Fatalf("buffered %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := int64(6 + i); ev.Query != want {
+			t.Fatalf("event %d is query %d, want %d (ring not oldest-first)", i, ev.Query, want)
+		}
+	}
+	if got[0].Seq >= got[1].Seq {
+		t.Fatal("sequence numbers not increasing")
+	}
+	if last := r.Events(1); len(last) != 1 || last[0].Query != 9 {
+		t.Fatalf("Events(1) = %+v, want the newest", last)
+	}
+	evDropped, _ := r.Dropped()
+	if evDropped != 6 {
+		t.Fatalf("dropped = %d, want 6", evDropped)
+	}
+}
+
+func TestDecisionsShareSequence(t *testing.T) {
+	r := New(8, 8)
+	r.Record(Event{T: 1, Kind: KindArrive, Query: 1})
+	r.RecordDecision(Decision{T: 2, Action: "LAC"})
+	r.Record(Event{T: 3, Kind: KindOutcome, Query: 1, Outcome: "success"})
+	d := r.Decisions(0)
+	if len(d) != 1 || d[0].Seq != 2 {
+		t.Fatalf("decision seq = %+v, want shared counter value 2", d)
+	}
+}
+
+func TestWriteJSONLMergesBySeq(t *testing.T) {
+	r := New(8, 8)
+	r.Record(Event{T: 1, Kind: KindArrive, Query: 7})
+	r.RecordDecision(Decision{T: 2, Action: "DU TAC", Samples: 30})
+	r.Record(Event{T: 3, Kind: KindOutcome, Query: 7, Outcome: "success", Fresh: 0.95})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"kind":"arrive"`) ||
+		!strings.Contains(lines[1], `"kind":"decision"`) ||
+		!strings.Contains(lines[2], `"kind":"outcome"`) {
+		t.Fatalf("lines out of sequence order:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[1], `"action":"DU TAC"`) {
+		t.Fatalf("decision line lost its action:\n%s", lines[1])
+	}
+}
+
+func TestWriteJSONLDeterministic(t *testing.T) {
+	dump := func() string {
+		r := New(16, 16)
+		r.Record(Event{T: 0.5, Kind: KindArrive, Query: 1, Items: 3, Deadline: 1.5})
+		r.Record(Event{T: 0.5, Kind: KindAdmit, Query: 1})
+		r.RecordDecision(Decision{T: 1, WindowUSM: 0.25, RCost: 0.1, Action: "UU"})
+		r.Record(Event{T: 1.2, Kind: KindOutcome, Query: 1, Outcome: "data-stale", Fresh: 0.4})
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := dump(), dump(); a != b {
+		t.Fatalf("identical recordings dumped different bytes:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(128, 32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Event{T: float64(i), Kind: KindQueue, Query: int64(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := r.Events(0)
+	if len(evs) != 128 {
+		t.Fatalf("ring holds %d, want 128", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("sequence not strictly increasing at %d", i)
+		}
+	}
+}

@@ -199,19 +199,51 @@ func (c *Client) Update(req UpdateRequest) (bool, error) {
 
 // Stats fetches the server's accounting snapshot.
 func (c *Client) Stats() (Stats, error) {
-	resp, err := c.http.Get(c.base + "/stats")
+	return c.stats("")
+}
+
+// StatsWindow fetches the snapshot with the windowed USM over the given
+// trailing horizon (GET /stats?window=...).
+func (c *Client) StatsWindow(window time.Duration) (Stats, error) {
+	if window <= 0 {
+		return c.stats("")
+	}
+	return c.stats("?window=" + url.QueryEscape(window.String()))
+}
+
+func (c *Client) stats(query string) (Stats, error) {
+	resp, err := c.http.Get(c.base + "/stats" + query)
 	if err != nil {
 		return Stats{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return Stats{}, fmt.Errorf("server: stats failed: %s", resp.Status)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return Stats{}, fmt.Errorf("server: stats failed: %s: %s",
+			resp.Status, strings.TrimSpace(string(body)))
 	}
 	var out Stats
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return Stats{}, fmt.Errorf("server: decode stats: %w", err)
 	}
 	return out, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition from GET /metrics.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server: metrics failed: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("server: read metrics: %w", err)
+	}
+	return string(body), nil
 }
 
 // Healthy reports whether the server answers its health check.

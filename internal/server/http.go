@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"unitdb/internal/obs/promtext"
 )
 
 // MaxQueryItems bounds the items list a single query may name. Larger
@@ -23,7 +25,10 @@ const statusClientClosedRequest = 499
 //
 //	GET  /query?items=3,5&deadline=200ms&work=20ms&freshness=0.9
 //	POST /update?item=3&value=1.23&work=5ms
-//	GET  /stats
+//	GET  /stats[?window=30s]
+//	GET  /metrics
+//	GET  /debug/trace?n=100
+//	GET  /debug/controller?n=50
 //	GET  /healthz
 //
 // Outcomes map to status codes: success 200, data-stale 206 (the result is
@@ -34,6 +39,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/controller", s.handleController)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -133,7 +141,79 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Stats())
+	window := time.Duration(0)
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad window: must be a positive duration like 30s", http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	writeJSON(w, http.StatusOK, s.StatsWindow(window))
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format
+// (version 0.0.4). The scrape reads atomic snapshots only — it never takes
+// the server's lock, so it stays responsive under query load.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", promtext.ContentType)
+	_ = promtext.Write(w, s.obs.reg.Snapshot())
+}
+
+// parseN parses the n=K tail-length parameter of the debug endpoints;
+// 0 (absent) means everything retained.
+func parseN(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("n")
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad n: must be a non-negative integer")
+	}
+	return n, nil
+}
+
+// handleTrace serves the last n query-lifecycle span events as JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := parseN(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	evDropped, _ := s.obs.rec.Dropped()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events":  s.obs.rec.Events(n),
+		"dropped": evDropped,
+	})
+}
+
+// handleController serves the last n Load Balancing Controller decisions
+// as JSON.
+func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := parseN(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	_, decDropped := s.obs.rec.Dropped()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"decisions": s.obs.rec.Decisions(n),
+		"dropped":   decDropped,
+	})
 }
 
 // parseItems parses a comma-separated item-id list, enforcing the input

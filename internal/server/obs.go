@@ -1,0 +1,141 @@
+package server
+
+import (
+	"time"
+
+	"unitdb/internal/obs/metrics"
+	"unitdb/internal/obs/trace"
+	"unitdb/internal/txn"
+)
+
+// latency histogram layout: 50 equal buckets over [0, 2.5s) — queries
+// default to 1 s deadlines, so the range covers the deadline plus the
+// retry-relevant tail; slower outliers land in the overflow (+Inf)
+// bucket.
+const (
+	latencyLo      = 0
+	latencyHi      = 2.5
+	latencyBuckets = 50
+)
+
+// serverObs bundles the server's observability surface: the metrics
+// registry with pre-registered handles (so the hot path is a single
+// atomic per event, never a map lookup) and the wall-time trace
+// recorder behind /debug/trace and /debug/controller. All fields are
+// set in newServerObs before the Server escapes and are immutable
+// afterwards; the handles themselves are internally synchronized.
+type serverObs struct {
+	reg *metrics.Registry
+	rec *trace.Recorder
+
+	outcomes  map[Outcome]*metrics.Counter
+	shed      *metrics.Counter
+	panicked  *metrics.Counter
+	drained   *metrics.Counter
+	updates   map[bool]*metrics.Counter // keyed by applied
+	latency   *metrics.Histogram
+	usmWindow *metrics.Gauge
+	usmTotal  *metrics.Gauge
+	cflex     *metrics.Gauge
+	queueLen  *metrics.Gauge
+	backlog   *metrics.Gauge
+	degraded  *metrics.Gauge
+	staleness *metrics.Gauge
+	decisions *metrics.Counter
+	actions   map[string]*metrics.Counter
+}
+
+// lbcActionLabels are the exposition labels of the four Fig. 2 control
+// signals.
+var lbcActionLabels = []string{"loosen_ac", "tighten_ac", "degrade_update", "upgrade_update"}
+
+func newServerObs(traceCap int) *serverObs {
+	reg := metrics.NewRegistry()
+	o := &serverObs{
+		reg:      reg,
+		rec:      trace.New(traceCap, 0),
+		outcomes: make(map[Outcome]*metrics.Counter),
+		updates:  make(map[bool]*metrics.Counter),
+		actions:  make(map[string]*metrics.Counter),
+	}
+	for _, out := range []Outcome{OutcomeSuccess, OutcomeRejected, OutcomeDMF, OutcomeDSF, OutcomeCanceled} {
+		o.outcomes[out] = reg.Counter("unit_queries_total",
+			"Resolved user queries by terminal outcome.",
+			metrics.Label{Key: "outcome", Value: string(out)})
+	}
+	o.shed = reg.Counter("unit_queries_shed_total",
+		"Queries rejected by the MaxQueue overload backstop.")
+	o.panicked = reg.Counter("unit_work_panics_total",
+		"Query or refresh computations that panicked (contained; the pool never shrinks).")
+	o.drained = reg.Counter("unit_queries_drained_total",
+		"Queued queries resolved as rejections during graceful shutdown.")
+	o.updates[true] = reg.Counter("unit_updates_total",
+		"Update-feed writes by fate.", metrics.Label{Key: "result", Value: "applied"})
+	o.updates[false] = reg.Counter("unit_updates_total",
+		"Update-feed writes by fate.", metrics.Label{Key: "result", Value: "dropped"})
+	o.latency = reg.Histogram("unit_query_latency_seconds",
+		"Wall-clock latency of resolved queries, all outcomes.",
+		latencyLo, latencyHi, latencyBuckets)
+	o.usmWindow = reg.Gauge("unit_usm_window",
+		"User Satisfaction Metric over the current control window (Eq. 5).")
+	o.usmTotal = reg.Gauge("unit_usm",
+		"Cumulative User Satisfaction Metric since start (Eq. 5).")
+	o.cflex = reg.Gauge("unit_admission_cflex",
+		"Admission control's flexibility coefficient C_flex (paper §3.3).")
+	o.queueLen = reg.Gauge("unit_queue_length",
+		"Queries waiting in the EDF ready queue.")
+	o.backlog = reg.Gauge("unit_backlog_seconds",
+		"Declared work queued ahead of a new arrival, seconds.")
+	o.degraded = reg.Gauge("unit_degraded_items",
+		"Items whose update period the modulator has degraded (paper §3.4).")
+	o.staleness = reg.Gauge("unit_stale_items",
+		"Items whose stored copy lags its source feed.")
+	o.decisions = reg.Counter("unit_lbc_decisions_total",
+		"Load Balancing Controller allocation decisions (paper Fig. 2).")
+	for _, a := range lbcActionLabels {
+		o.actions[a] = reg.Counter("unit_lbc_actions_total",
+			"Control signals fired by LBC decisions.",
+			metrics.Label{Key: "action", Value: a})
+	}
+	return o
+}
+
+// observeQuery tallies one resolved query into the registry. It runs
+// lock-free (pure atomics) after s.mu is released, so the metrics hot
+// path never blocks a worker or another client.
+func (o *serverObs) observeQuery(resp QueryResponse) {
+	if c := o.outcomes[resp.Outcome]; c != nil {
+		c.Inc()
+	}
+	o.latency.Observe(resp.Latency.Seconds())
+}
+
+// recordActions tallies one decision's control signals.
+func (o *serverObs) recordActions(loosen, tighten, degrade, upgrade bool) {
+	o.decisions.Inc()
+	if loosen {
+		o.actions["loosen_ac"].Inc()
+	}
+	if tighten {
+		o.actions["tighten_ac"].Inc()
+	}
+	if degrade {
+		o.actions["degrade_update"].Inc()
+	}
+	if upgrade {
+		o.actions["upgrade_update"].Inc()
+	}
+}
+
+// outcomeStamp is one finalized outcome with its wall time, feeding the
+// windowed USM of GET /stats?window=.
+type outcomeStamp struct {
+	at time.Time
+	o  txn.Outcome
+}
+
+// winLogCap bounds the windowed-USM history: at 32k outcomes a sustained
+// 1k queries/s load still covers a ~30 s window exactly; beyond that the
+// window silently truncates to the retained history (the JSON response
+// reports the effective horizon).
+const winLogCap = 1 << 15

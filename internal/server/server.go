@@ -26,6 +26,8 @@ import (
 	"unitdb/internal/core/ufm"
 	"unitdb/internal/core/usm"
 	"unitdb/internal/datastore"
+	"unitdb/internal/obs/metrics"
+	"unitdb/internal/obs/trace"
 	"unitdb/internal/stats"
 	"unitdb/internal/txn"
 )
@@ -62,6 +64,9 @@ type Config struct {
 	// UpdateWork performs an update refresh's computation; nil sleeps for
 	// the request's Work duration.
 	UpdateWork func(UpdateRequest)
+	// TraceCap bounds the /debug/trace span-event ring buffer (default
+	// 4096; the controller decision log keeps its own default).
+	TraceCap int
 }
 
 // DefaultConfig returns a small live-server configuration.
@@ -117,7 +122,11 @@ type UpdateRequest struct {
 	Work  time.Duration // cost of applying the refresh (ue)
 }
 
-// Stats is a snapshot of the server's accounting.
+// Stats is a snapshot of the server's accounting. It is a defensive deep
+// copy: every nested value (counts, the signal map, the optional window)
+// is copied or freshly built under the lock, so callers can hold or
+// mutate a snapshot without racing the server — the contract the load
+// tests and the JSON encoder both rely on.
 type Stats struct {
 	Counts         usm.Counts `json:"counts"`
 	USM            float64    `json:"usm"`
@@ -127,12 +136,33 @@ type Stats struct {
 	UpdatesDropped int        `json:"updates_dropped"`
 	QueueLength    int        `json:"queue_length"`
 	StaleItems     int        `json:"stale_items"`
+	// RetryAfterSeconds is the backoff hint a rejected client would be
+	// given right now (the 429 Retry-After estimate), surfaced in the
+	// snapshot so load tests can assert on it without forcing a rejection.
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
 	// Resilience counters (PR 2): outcomes of the failure paths the
 	// graceful-degradation machinery handles.
 	QueriesShed     int `json:"queries_shed"`     // rejected by the MaxQueue backstop
 	QueriesPanicked int `json:"queries_panicked"` // work panicked; recorded as DMF, worker survived
 	QueriesCanceled int `json:"queries_canceled"` // client gone; abandoned before burning a worker
 	QueriesDrained  int `json:"queries_drained"`  // queued at shutdown; resolved as rejections
+	// LBCDecisions counts allocation decisions; LBCSignals breaks the
+	// fired control signals down by name (deep-copied per snapshot).
+	LBCDecisions int            `json:"lbc_decisions"`
+	LBCSignals   map[string]int `json:"lbc_signals,omitempty"`
+	// Window carries the windowed USM when the snapshot was taken with
+	// StatsWindow (GET /stats?window=...); nil otherwise.
+	Window *WindowStats `json:"window,omitempty"`
+}
+
+// WindowStats is the outcome tally and USM over a trailing wall-clock
+// window. Seconds is the requested horizon; Covered is the horizon the
+// retained history actually spans (smaller when the ring truncated).
+type WindowStats struct {
+	Seconds float64    `json:"seconds"`
+	Covered float64    `json:"covered_seconds"`
+	Counts  usm.Counts `json:"counts"`
+	USM     float64    `json:"usm"`
 }
 
 type liveQuery struct {
@@ -211,6 +241,17 @@ type Server struct {
 	canceled int // guarded by mu; abandoned after client disconnect
 	drained  int // guarded by mu; queued queries rejected at shutdown
 
+	// obs is the observability surface (metrics registry + trace
+	// recorder); set in New, immutable afterwards, internally
+	// synchronized — hot-path updates are atomics outside mu.
+	obs *serverObs
+
+	lbcDecisions int            // guarded by mu
+	signals      map[string]int // guarded by mu; fired control signals by name
+
+	winLog  []outcomeStamp // guarded by mu; ring of recent finalized outcomes
+	winNext int            // guarded by mu; next ring slot once full
+
 	closed bool // guarded by mu
 	wg     sync.WaitGroup
 	stopCh chan struct{}
@@ -276,8 +317,11 @@ func New(cfg Config) (*Server, error) {
 		lastApplied:  make([]time.Time, cfg.NumItems),
 		lastArrival:  make([]time.Time, cfg.NumItems),
 		interArrival: make([]stats.EWMA, cfg.NumItems),
+		obs:          newServerObs(cfg.TraceCap),
+		signals:      make(map[string]int),
 		stopCh:       make(chan struct{}),
 	}
+	s.obs.cflex.Set(s.ac.CFlex())
 	for i := range s.interArrival {
 		s.interArrival[i] = *stats.NewEWMA(0.3)
 	}
@@ -309,10 +353,13 @@ func (s *Server) Close() {
 	close(s.stopCh)
 	for _, q := range s.queue {
 		s.drained++
+		s.obs.drained.Inc()
+		s.backlog -= q.req.Work.Seconds()
 		s.finalizeLocked(q.tx, txn.OutcomeRejected)
 		q.done <- QueryResponse{Outcome: OutcomeRejected}
 	}
 	s.queue = nil
+	s.queueGaugesLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -321,6 +368,22 @@ func (s *Server) Close() {
 // now returns seconds since server start (the algorithm core runs on
 // float64 seconds).
 func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
+// Metrics exposes the server's metrics registry (the source behind
+// GET /metrics). Read-only for callers; snapshots are consistent per
+// series.
+func (s *Server) Metrics() *metrics.Registry { return s.obs.reg }
+
+// TraceRecorder exposes the wall-time trace recorder behind
+// GET /debug/trace and GET /debug/controller.
+func (s *Server) TraceRecorder() *trace.Recorder { return s.obs.rec }
+
+// queueGaugesLocked refreshes the queue-shape gauges. Called at every
+// mutation of the ready queue so a /metrics scrape never needs s.mu.
+func (s *Server) queueGaugesLocked() {
+	s.obs.queueLen.Set(float64(len(s.queue)))
+	s.obs.backlog.Set(s.backlog)
+}
 
 // queueView adapts the live queue to admission.QueueView.
 type queueView struct {
@@ -342,9 +405,18 @@ func (s *Server) Query(req QueryRequest) QueryResponse {
 // (client disconnect) a still-queued query is removed before it ever
 // occupies a worker and resolves as OutcomeCanceled; a query already
 // executing runs to its verdict (the worker's CPU is already spent).
+func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
+	resp := s.queryCtx(ctx, req)
+	// Every query path funnels through here, so one lock-free tally
+	// covers the outcome counters and the latency histogram.
+	s.obs.observeQuery(resp)
+	return resp
+}
+
+// queryCtx runs the query lifecycle; QueryCtx wraps it with metrics.
 //
 //unitlint:outcome tx
-func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
+func (s *Server) queryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 	started := time.Now()
 	if req.Freshness <= 0 {
 		req.Freshness = s.cfg.DefaultFreshness
@@ -366,6 +438,7 @@ func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 	now := s.now()
 	s.nextID++
 	tx := txn.NewQuery(s.nextID, now, req.Items, req.Work.Seconds(), req.Deadline.Seconds(), req.Freshness)
+	s.obs.rec.Record(trace.Event{T: now, Kind: trace.KindArrive, Query: tx.ID, Items: len(tx.Items), Deadline: tx.Deadline})
 	view := queueView{running: s.running, queued: make([]*txn.Txn, 0, len(s.queue))}
 	for _, q := range s.queue {
 		view.queued = append(view.queued, q.tx)
@@ -373,18 +446,24 @@ func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 	if len(s.queue) >= s.cfg.MaxQueue {
 		// Overload backstop, distinct from the algorithm's admission gate.
 		s.shed++
+		s.obs.shed.Inc()
+		s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindReject, Query: tx.ID})
 		s.finalizeLocked(tx, txn.OutcomeRejected)
 		s.mu.Unlock()
 		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
 	}
 	if s.ac.Admit(now, tx, view) != admission.Admitted {
+		s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindReject, Query: tx.ID})
 		s.finalizeLocked(tx, txn.OutcomeRejected)
 		s.mu.Unlock()
 		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
 	}
+	s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindAdmit, Query: tx.ID})
 	q := &liveQuery{req: req, ctx: ctx, tx: tx, done: make(chan QueryResponse, 1)}
 	heap.Push(&s.queue, q)
 	s.backlog += req.Work.Seconds()
+	s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindQueue, Query: tx.ID})
+	s.queueGaugesLocked()
 	s.cond.Signal()
 	s.mu.Unlock()
 
@@ -394,6 +473,7 @@ func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 		if q.index >= 0 && q.index < len(s.queue) && s.queue[q.index] == q {
 			heap.Remove(&s.queue, q.index)
 			s.backlog -= q.req.Work.Seconds()
+			s.queueGaugesLocked()
 			return true
 		}
 		return false
@@ -410,6 +490,7 @@ func (s *Server) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 			// The user is gone: nothing enters the USM accountant, the
 			// cancellation is only tallied.
 			s.canceled++
+			s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: tx.ID, Outcome: string(OutcomeCanceled)})
 			s.mu.Unlock()
 			return QueryResponse{Outcome: OutcomeCanceled, Latency: time.Since(started)}
 		}
@@ -467,7 +548,9 @@ func (s *Server) Update(req UpdateRequest) (bool, error) {
 		if now.Sub(s.lastApplied[req.Item]).Seconds() < period*(1-1e-9) {
 			s.store.DropUpdate(req.Item)
 			s.updatesDropped++
+			s.obs.staleness.Set(float64(s.store.StaleItems()))
 			s.mu.Unlock()
+			s.obs.updates[false].Inc()
 			return false, nil
 		}
 	}
@@ -480,14 +563,19 @@ func (s *Server) Update(req UpdateRequest) (bool, error) {
 		s.mu.Lock()
 		s.store.DropUpdate(req.Item)
 		s.panicked++
+		s.obs.staleness.Set(float64(s.store.StaleItems()))
 		s.mu.Unlock()
+		s.obs.panicked.Inc()
+		s.obs.updates[false].Inc()
 		return false, fmt.Errorf("server: refresh for item %d panicked", req.Item)
 	}
 
 	s.mu.Lock()
 	s.store.ApplyUpdate(req.Item, req.Value, s.now())
 	s.updatesApplied++
+	s.obs.staleness.Set(float64(s.store.StaleItems()))
 	s.mu.Unlock()
+	s.obs.updates[true].Inc()
 	return true, nil
 }
 
@@ -503,26 +591,86 @@ func (s *Server) runUpdateWork(req UpdateRequest) (ok bool) {
 	return true
 }
 
-// Stats returns a snapshot of the server's accounting.
+// Stats returns a snapshot of the server's accounting (a defensive deep
+// copy; see the Stats type).
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+// StatsWindow is Stats plus the outcome tally and USM over the trailing
+// wall-clock window (GET /stats?window=...). Non-positive windows return
+// the plain snapshot.
+func (s *Server) StatsWindow(window time.Duration) Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.statsLocked()
+	if window <= 0 {
+		return st
+	}
+	counts, covered := s.windowCountsLocked(window)
+	st.Window = &WindowStats{
+		Seconds: window.Seconds(),
+		Covered: covered,
+		Counts:  counts,
+		USM:     counts.USM(s.cfg.Weights),
+	}
+	return st
+}
+
+func (s *Server) statsLocked() Stats {
 	counts := s.acct.Total()
+	// Deep-copy the signal map: the live map keeps mutating under mu
+	// after the snapshot escapes.
+	signals := make(map[string]int, len(s.signals))
+	for k, v := range s.signals {
+		signals[k] = v
+	}
 	return Stats{
-		Counts:         counts,
-		USM:            counts.USM(s.cfg.Weights),
-		CFlex:          s.ac.CFlex(),
-		DegradedItems:  s.mod.DegradedCount(),
-		UpdatesApplied: s.updatesApplied,
-		UpdatesDropped: s.updatesDropped,
-		QueueLength:    len(s.queue),
-		StaleItems:     s.store.StaleItems(),
+		Counts:            counts,
+		USM:               counts.USM(s.cfg.Weights),
+		CFlex:             s.ac.CFlex(),
+		DegradedItems:     s.mod.DegradedCount(),
+		UpdatesApplied:    s.updatesApplied,
+		UpdatesDropped:    s.updatesDropped,
+		QueueLength:       len(s.queue),
+		StaleItems:        s.store.StaleItems(),
+		RetryAfterSeconds: s.retryAfterLocked().Seconds(),
 
 		QueriesShed:     s.shed,
 		QueriesPanicked: s.panicked,
 		QueriesCanceled: s.canceled,
 		QueriesDrained:  s.drained,
+
+		LBCDecisions: s.lbcDecisions,
+		LBCSignals:   signals,
 	}
+}
+
+// windowCountsLocked tallies the retained outcomes inside the trailing
+// window. covered is the horizon the history actually spans: the window
+// itself, truncated to the server's uptime and — when the ring wrapped —
+// to the oldest retained stamp.
+func (s *Server) windowCountsLocked(window time.Duration) (usm.Counts, float64) {
+	now := time.Now()
+	cutoff := now.Add(-window)
+	var c usm.Counts
+	for _, st := range s.winLog {
+		if st.at.After(cutoff) {
+			c.Record(st.o)
+		}
+	}
+	covered := window.Seconds()
+	if up := now.Sub(s.start).Seconds(); up < covered {
+		covered = up
+	}
+	if len(s.winLog) == winLogCap {
+		if span := now.Sub(s.winLog[s.winNext].at).Seconds(); span < covered {
+			covered = span
+		}
+	}
+	return c, covered
 }
 
 // RetryAfter estimates how long a rejected client should wait before
@@ -531,6 +679,10 @@ func (s *Server) Stats() Stats {
 func (s *Server) RetryAfter() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.retryAfterLocked()
+}
+
+func (s *Server) retryAfterLocked() time.Duration {
 	per := s.backlog / float64(s.cfg.Workers)
 	d := time.Duration(math.Ceil(per)) * time.Second
 	if d < time.Second {
@@ -552,6 +704,17 @@ func (s *Server) finalizeLocked(tx *txn.Txn, o txn.Outcome) {
 	for _, item := range tx.Items {
 		s.mod.OnQueryAccess(item, tx.EstExec, tx.RelDeadline)
 	}
+	s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: tx.ID, Outcome: o.String()})
+	// Ring-append into the windowed-USM history (GET /stats?window=).
+	st := outcomeStamp{at: time.Now(), o: o}
+	if len(s.winLog) < winLogCap {
+		s.winLog = append(s.winLog, st)
+	} else {
+		s.winLog[s.winNext] = st
+		s.winNext = (s.winNext + 1) % winLogCap
+	}
+	total := s.acct.Total()
+	s.obs.usmTotal.Set(total.USM(s.cfg.Weights))
 }
 
 // worker pops EDF queries and executes them.
@@ -570,10 +733,12 @@ func (s *Server) worker() {
 		}
 		q := heap.Pop(&s.queue).(*liveQuery)
 		s.backlog -= q.req.Work.Seconds()
+		s.queueGaugesLocked()
 		if q.ctx != nil && q.ctx.Err() != nil {
 			// Client already gone: a canceled query never occupies the
 			// worker and never enters the USM.
 			s.canceled++
+			s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: q.tx.ID, Outcome: string(OutcomeCanceled)})
 			s.mu.Unlock()
 			q.done <- QueryResponse{Outcome: OutcomeCanceled}
 			//unitlint:ignore outcomeonce -- canceled queries bypass the USM by design: the user is gone, so q.tx stays unresolved and only s.canceled tallies it
@@ -586,6 +751,7 @@ func (s *Server) worker() {
 			q.done <- QueryResponse{Outcome: OutcomeDMF}
 			continue
 		}
+		s.obs.rec.Record(trace.Event{T: now, Kind: trace.KindExecute, Query: q.tx.ID, Wait: now - q.tx.Arrival})
 		// Read phase: sample freshness and values.
 		fresh := s.store.QueryFreshness(q.req.Items)
 		values := make(map[string]float64, len(q.req.Items))
@@ -607,6 +773,7 @@ func (s *Server) worker() {
 			// and the recover above means this worker keeps serving; the
 			// pool never shrinks.
 			s.panicked++
+			s.obs.panicked.Inc()
 			s.finalizeLocked(q.tx, txn.OutcomeDMF)
 			s.mu.Unlock()
 			q.done <- QueryResponse{Outcome: OutcomeDMF}
@@ -659,29 +826,57 @@ func (s *Server) controlTick() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sinceDecision.Add(s.acct.Rollover())
+	windowUSM := s.sinceDecision.USM(s.cfg.Weights)
+	s.obs.usmWindow.Set(windowUSM)
 	if s.sinceDecision.Total() < s.cfg.MinDecisionSamples {
 		return
 	}
+	samples := s.sinceDecision.Total()
 	trigger := time.Since(s.lastDecision) >= s.cfg.GracePeriod
-	if s.lbc.DropTriggered(s.sinceDecision.USM(s.cfg.Weights)) {
+	dropped := s.lbc.DropTriggered(windowUSM)
+	if dropped {
 		trigger = true
 	}
 	if !trigger {
 		return
 	}
-	action := s.lbc.Decide(s.sinceDecision)
+	action, costs := s.lbc.DecideExplained(s.sinceDecision)
 	s.sinceDecision = usm.Counts{}
 	s.lastDecision = time.Now()
 	if action.LoosenAC {
 		s.ac.Loosen()
+		s.signals["loosen_ac"]++
 	}
 	if action.TightenAC {
 		s.ac.Tighten()
+		s.signals["tighten_ac"]++
 	}
 	if action.DegradeUpdate {
 		s.mod.DegradeN(s.cfg.DegradeBatch)
+		s.signals["degrade_update"]++
 	}
 	if action.UpgradeUpdate {
 		s.mod.Upgrade()
+		s.signals["upgrade_update"]++
 	}
+	s.lbcDecisions++
+	// Log the decision after applying it, so CFlex and DegradedItems show
+	// the resulting actuator settings (the decision log mirrors Fig. 2:
+	// weighted-cost inputs on the left, chosen allocation on the right).
+	s.obs.rec.RecordDecision(trace.Decision{
+		T:             s.now(),
+		Samples:       samples,
+		WindowUSM:     windowUSM,
+		RCost:         costs.R,
+		FmCost:        costs.Fm,
+		FsCost:        costs.Fs,
+		DropTriggered: dropped,
+		Action:        action.String(),
+		CFlex:         s.ac.CFlex(),
+		DegradedItems: s.mod.DegradedCount(),
+	})
+	s.obs.cflex.Set(s.ac.CFlex())
+	s.obs.degraded.Set(float64(s.mod.DegradedCount()))
+	s.obs.staleness.Set(float64(s.store.StaleItems()))
+	s.obs.recordActions(action.LoosenAC, action.TightenAC, action.DegradeUpdate, action.UpgradeUpdate)
 }

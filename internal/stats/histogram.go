@@ -32,6 +32,43 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int, n)}
 }
 
+// HistogramFromBuckets reconstructs a histogram from recorded bucket
+// counts — the read side of concurrent collectors that share this bucket
+// layout (internal/obs/metrics), rehydrated here so quantile and mean
+// estimation live in one place. The per-sample extremes are lost in
+// bucketed form, so Min/Max report the range edges clamped to the
+// occupied buckets. It panics on an empty bucket slice or range.
+func HistogramFromBuckets(lo, hi float64, buckets []int, under, over int, sum float64) *Histogram {
+	h := NewHistogram(lo, hi, len(buckets))
+	copy(h.buckets, buckets)
+	h.under = under
+	h.over = over
+	h.sum = sum
+	if under > 0 {
+		h.min, h.max = lo, lo
+		h.anyObs = true
+	}
+	for i, c := range buckets {
+		h.count += c
+		if c > 0 {
+			if !h.anyObs {
+				h.min = lo + float64(i)*h.width
+				h.anyObs = true
+			}
+			h.max = lo + float64(i+1)*h.width
+		}
+	}
+	if over > 0 {
+		if !h.anyObs {
+			h.min = hi
+			h.anyObs = true
+		}
+		h.max = hi
+	}
+	h.count += under + over
+	return h
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(x float64) {
 	h.count++

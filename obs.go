@@ -1,0 +1,21 @@
+package unit
+
+import "unitdb/internal/obs/trace"
+
+// TraceRecorder buffers query-lifecycle span events and controller
+// decisions. Attach one to a simulation via Config.Trace to observe a
+// run (unitsim -trace dumps it as JSONL); the live server carries its
+// own, exposed at /debug/trace and /debug/controller.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one span event of a query's lifecycle.
+type TraceEvent = trace.Event
+
+// ControllerDecision is one logged Load Balancing Controller firing.
+type ControllerDecision = trace.Decision
+
+// NewTraceRecorder creates a recorder keeping the last eventCap span
+// events and decCap controller decisions (non-positive = defaults).
+func NewTraceRecorder(eventCap, decCap int) *TraceRecorder {
+	return trace.New(eventCap, decCap)
+}

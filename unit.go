@@ -95,6 +95,10 @@ type Config struct {
 	UpdateSeed uint64
 	PolicySeed uint64
 	EngineSeed uint64
+	// Trace, when non-nil, records the query lifecycle and the policy's
+	// controller decisions during the run (see NewTraceRecorder). A nil
+	// recorder leaves the run bitwise-unchanged.
+	Trace *TraceRecorder
 }
 
 // DefaultConfig returns a full-scale med-unif UNIT scenario with naive
@@ -170,7 +174,9 @@ func RunWorkload(cfg Config, w *workload.Workload) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := engine.New(engine.NewConfig(w, cfg.Weights, cfg.EngineSeed), p)
+	ecfg := engine.NewConfig(w, cfg.Weights, cfg.EngineSeed)
+	ecfg.Trace = cfg.Trace
+	e, err := engine.New(ecfg, p)
 	if err != nil {
 		return nil, err
 	}
