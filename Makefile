@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet unitlint lint-baseline chaos fuzz obs-smoke ci
+.PHONY: all build test race lint vet unitlint lint-baseline chaos fuzz obs-smoke bench bench-baseline bench-smoke bench-check golden ci
 
 all: build
 
@@ -64,6 +64,32 @@ obs-smoke:
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	./bin/obslint -url http://127.0.0.1:$(OBS_PORT)/metrics -timeout 15s \
 	  -require unit_queries_total,unit_query_latency_seconds,unit_usm_window,unit_usm,unit_admission_cflex,unit_queue_length,unit_lbc_decisions_total,unit_lbc_actions_total
+
+# Benchmark harness (cmd/unitbench): run the full suite at a steady
+# benchtime and write the schema-versioned BENCH_results.json artifact
+# (timings + headline experiment USMs). BENCH_baseline.json is the
+# checked-in reference; regenerate it only on a quiet machine and review
+# the diff like code.
+BENCHTIME ?= 0.2s
+BENCHCOUNT ?= 3
+bench:
+	$(GO) run ./cmd/unitbench -out BENCH_results.json -benchtime $(BENCHTIME) -count $(BENCHCOUNT)
+
+bench-baseline:
+	$(GO) run ./cmd/unitbench -out BENCH_baseline.json -benchtime $(BENCHTIME) -count $(BENCHCOUNT)
+
+# CI smoke: a shorter sweep that still exercises every benchmark, writes
+# the artifact CI uploads, then gates it against the baseline.
+bench-smoke:
+	$(GO) run ./cmd/unitbench -out BENCH_results.json -benchtime 0.15s -count 2
+
+bench-check:
+	$(GO) run ./cmd/unitbench -check
+
+# Replication pin: the QuickConfig experiment suite must reproduce the
+# checked-in golden JSON byte-for-byte, sequentially and in parallel.
+golden:
+	$(GO) test ./internal/experiments/ -run TestGoldenQuickReplication -v
 
 # Everything CI runs, in CI's order.
 ci: build lint test race chaos obs-smoke

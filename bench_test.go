@@ -30,10 +30,23 @@ func benchConfig() experiments.Config {
 	return experiments.QuickConfig()
 }
 
+// benchWorkload builds the shared reduced-scale workload the engine-level
+// benchmarks run on, once per benchmark.
+func benchWorkload(b *testing.B) (Config, *workload.Workload) {
+	b.Helper()
+	cfg := QuickConfig()
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg, w
+}
+
 // BenchmarkTable1UpdateTraces regenerates the nine update traces of paper
 // Table 1 and reports the realized correlation of the med-pos cell.
 func BenchmarkTable1UpdateTraces(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	var lastCorr float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table1(cfg)
@@ -53,6 +66,7 @@ func BenchmarkTable1UpdateTraces(b *testing.B) {
 // of the update volume it drops (paper Fig. 3 case study 2).
 func BenchmarkFig3UpdateModulation(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	var dropFrac float64
 	for i := 0; i < b.N; i++ {
 		f, err := experiments.Fig3(cfg, workload.Med, workload.NegativeCorrelation)
@@ -68,6 +82,7 @@ func BenchmarkFig3UpdateModulation(b *testing.B) {
 // policies) and reports UNIT's and the best competitor's USM at med-unif.
 func BenchmarkFig4NaiveUSM(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	var unitUSM, bestOther float64
 	for i := 0; i < b.N; i++ {
 		f, err := experiments.Fig4(cfg)
@@ -90,6 +105,7 @@ func BenchmarkFig4NaiveUSM(b *testing.B) {
 // reports UNIT's USM spread (its stability claim).
 func BenchmarkFig5WeightedUSM(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	var spread float64
 	for i := 0; i < b.N; i++ {
 		f, err := experiments.Fig5(cfg)
@@ -105,6 +121,7 @@ func BenchmarkFig5WeightedUSM(b *testing.B) {
 // reports QMF's rejection ratio (its signature in paper Fig. 6).
 func BenchmarkFig6RatioDistribution(b *testing.B) {
 	cfg := benchConfig()
+	b.ReportAllocs()
 	var qmfReject float64
 	for i := 0; i < b.N; i++ {
 		f5, err := experiments.Fig5(cfg)
@@ -125,11 +142,8 @@ func BenchmarkFig6RatioDistribution(b *testing.B) {
 // BenchmarkAblationNoAdmissionControl compares UNIT with and without
 // admission control on the bursty med-unif trace.
 func BenchmarkAblationNoAdmissionControl(b *testing.B) {
-	cfg := QuickConfig()
-	w, err := BuildWorkload(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
+	cfg, w := benchWorkload(b)
+	b.ReportAllocs()
 	var with, without float64
 	for i := 0; i < b.N; i++ {
 		r, err := RunWorkload(cfg, w)
@@ -149,6 +163,25 @@ func BenchmarkAblationNoAdmissionControl(b *testing.B) {
 	b.ReportMetric(without, "USM(no-control)")
 }
 
+// benchSink defeats dead-code elimination in the calibration spin.
+var benchSink float64
+
+// BenchmarkCalibrationSpin is the machine-speed reference the regression
+// gate (internal/bench.Compare) normalizes by: pure seeded-RNG
+// arithmetic with no allocation, so its ns/op tracks the host's
+// effective CPU speed. Comparing every other benchmark relative to it
+// cancels machine differences and CPU throttling out of the
+// BENCH_baseline.json comparison.
+func BenchmarkCalibrationSpin(b *testing.B) {
+	rng := stats.NewRNG(1)
+	var sink float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink += rng.Float64()
+	}
+	benchSink = sink
+}
+
 // --- hot-path micro benches ---
 
 func BenchmarkLotterySample(b *testing.B) {
@@ -157,6 +190,7 @@ func BenchmarkLotterySample(b *testing.B) {
 	for i := 0; i < 1024; i++ {
 		s.Set(i, rng.Normal(0, 5))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Sample(rng.Float64())
@@ -166,6 +200,7 @@ func BenchmarkLotterySample(b *testing.B) {
 func BenchmarkLotteryUpdate(b *testing.B) {
 	s := lottery.NewSampler(1024)
 	rng := stats.NewRNG(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Set(i%1024, rng.Float64())
@@ -180,6 +215,7 @@ func BenchmarkAdmissionDecision(b *testing.B) {
 	}
 	view := benchView{queued: queued}
 	cand := txn.NewQuery(999, 0, []int{1}, 1, 50, 0.9)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl.Admit(0, cand, view)
@@ -194,6 +230,7 @@ func (v benchView) QueuedQueries() []*txn.Txn { return v.queued }
 
 func BenchmarkReadyQueueOps(b *testing.B) {
 	q := readyq.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := txn.NewQuery(int64(i), 0, []int{0}, 1, float64(i%100)+1, 0.9)
@@ -214,17 +251,15 @@ func BenchmarkEventSimThroughput(b *testing.B) {
 			s.After(1, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.After(1, tick)
 	s.RunAll()
 }
 
 func BenchmarkEngineEventThroughput(b *testing.B) {
-	cfg := QuickConfig()
-	w, err := BuildWorkload(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
+	_, w := benchWorkload(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var events int64
 	for i := 0; i < b.N; i++ {
@@ -247,6 +282,7 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	cfg := workload.SmallQueryConfig()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q, err := workload.GenerateQueries(cfg, uint64(i))
 		if err != nil {
@@ -260,13 +296,10 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 
 // Example of the one-cell API in benchmark form, for each policy.
 func BenchmarkPolicyCell(b *testing.B) {
-	cfg := QuickConfig()
-	w, err := BuildWorkload(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
+	cfg, w := benchWorkload(b)
 	for _, p := range []PolicyName{PolicyIMU, PolicyODU, PolicyQMF, PolicyUNIT} {
 		b.Run(string(p), func(b *testing.B) {
+			b.ReportAllocs()
 			var usmVal float64
 			for i := 0; i < b.N; i++ {
 				c := cfg
@@ -286,11 +319,8 @@ func BenchmarkPolicyCell(b *testing.B) {
 // victim selection (the paper's choice, §5) against deterministic stride
 // scheduling on the med-unif trace.
 func BenchmarkAblationVictimSelection(b *testing.B) {
-	cfg := QuickConfig()
-	w, err := BuildWorkload(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
+	_, w := benchWorkload(b)
+	b.ReportAllocs()
 	run := func(opts ...ufm.Option) float64 {
 		pcfg := core.DefaultConfig(usm.Weights{})
 		pcfg.ModulatorOptions = opts

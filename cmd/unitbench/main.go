@@ -1,0 +1,165 @@
+// Command unitbench is the benchmark-regression harness. In its default
+// run mode it executes the repository's benchmark suite (`go test -bench`
+// across all packages), parses the output, attaches the headline
+// experiment USMs, and writes the schema-versioned BENCH_results.json
+// artifact. In -check mode it compares such an artifact against the
+// checked-in BENCH_baseline.json and exits non-zero on regressions
+// beyond the tolerance — the `make bench-check` CI gate.
+//
+// Usage:
+//
+//	unitbench [-out BENCH_results.json] [-bench regex] [-benchtime 0.3s] [-count 3] [-skip-usm]
+//	unitbench -check [-baseline BENCH_baseline.json] [-results BENCH_results.json] [-tolerance 0.15]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+
+	"unitdb/internal/bench"
+	"unitdb/internal/experiments"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_results.json", "artifact to write in run mode")
+		benchRe   = flag.String("bench", ".", "benchmark regex passed to go test")
+		benchtime = flag.String("benchtime", "", "go test -benchtime (empty = go's default)")
+		count     = flag.Int("count", 1, "go test -count; repeats are merged by best measurement")
+		pkgs      = flag.String("pkg", "./...", "packages whose benchmarks run")
+		skipUSM   = flag.Bool("skip-usm", false, "skip the headline-USM experiment run")
+		check     = flag.Bool("check", false, "compare -results against -baseline instead of running")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline artifact for -check")
+		results   = flag.String("results", "BENCH_results.json", "results artifact for -check")
+		tol       = flag.Float64("tolerance", bench.DefaultTolerance, "allowed relative slowdown before -check fails")
+	)
+	flag.Parse()
+
+	if *check {
+		os.Exit(runCheck(*baseline, *results, *tol))
+	}
+	os.Exit(runSuite(*out, *benchRe, *benchtime, *count, *pkgs, *skipUSM))
+}
+
+func runSuite(out, benchRe, benchtime string, count int, pkgs string, skipUSM bool) int {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	if count > 1 {
+		args = append(args, "-count", strconv.Itoa(count))
+	}
+	args = append(args, pkgs)
+
+	fmt.Fprintf(os.Stderr, "unitbench: go %v\n", args)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "unitbench: benchmark run failed: %v\n", err)
+		return 1
+	}
+
+	benchmarks, err := bench.Parse(&buf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unitbench: %v\n", err)
+		return 1
+	}
+	if len(benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "unitbench: no benchmarks matched")
+		return 1
+	}
+
+	res := &bench.Result{
+		Schema:     bench.SchemaVersion,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benchmarks,
+	}
+	if !skipUSM {
+		fmt.Fprintln(os.Stderr, "unitbench: recording headline USMs (QuickConfig experiment suite)")
+		s, err := experiments.BuildSummary(experiments.QuickConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unitbench: headline USM run failed: %v\n", err)
+			return 1
+		}
+		res.HeadlineUSM = s.HeadlineUSM()
+	}
+
+	if err := writeArtifact(out, res); err != nil {
+		fmt.Fprintf(os.Stderr, "unitbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "unitbench: wrote %s (%d benchmarks)\n", out, len(benchmarks))
+	return 0
+}
+
+func writeArtifact(path string, res *bench.Result) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func readArtifact(path string) (*bench.Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res bench.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &res, nil
+}
+
+func runCheck(baselinePath, resultsPath string, tol float64) int {
+	base, err := readArtifact(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unitbench: %v\n", err)
+		return 1
+	}
+	cur, err := readArtifact(resultsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unitbench: %v\n", err)
+		return 1
+	}
+	regs, missing, err := bench.Compare(base, cur, tol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "unitbench: %v\n", err)
+		return 1
+	}
+
+	fail := false
+	for _, m := range missing {
+		// A benchmark present in the baseline but absent from the results
+		// means the gate lost coverage; new current-only benchmarks just
+		// want a baseline refresh.
+		fmt.Fprintf(os.Stderr, "unitbench: coverage drift: %s\n", m)
+		if len(m) > 9 && m[:9] == "baseline-" {
+			fail = true
+		}
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "unitbench: REGRESSION %s\n", r)
+		fail = true
+	}
+	if fail {
+		fmt.Fprintf(os.Stderr, "unitbench: FAIL (%d regressions beyond %.0f%% vs %s)\n",
+			len(regs), tol*100, baselinePath)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "unitbench: OK — %d baseline benchmarks within %.0f%% of %s\n",
+		len(base.Benchmarks), tol*100, baselinePath)
+	return 0
+}

@@ -25,12 +25,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, fig6, sens or all")
 	quick := flag.Bool("quick", false, "use the reduced-scale trace")
 	csvDir := flag.String("csv", "", "directory for Figure 3 per-item CSV dumps")
+	workers := flag.Int("workers", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Workers = *workers
 
 	run := func(name string, fn func() error) {
 		start := time.Now()

@@ -1,0 +1,298 @@
+// Package bench defines the schema of the repository's benchmark
+// artifacts (BENCH_results.json, BENCH_baseline.json), parses the output
+// of `go test -bench -benchmem` into it, and compares two artifacts under
+// a regression tolerance. cmd/unitbench is the driver; `make bench-check`
+// is the CI gate.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the layout of the JSON artifact. Bump it when
+// fields change meaning; the comparator refuses to diff artifacts of
+// different schemas rather than guessing.
+const SchemaVersion = 1
+
+// Result is one benchmark artifact: a full `go test -bench` sweep plus
+// the headline experiment USMs recorded at the same commit. Keeping the
+// USMs next to the timing numbers makes a perf change that also shifts
+// results visible as such.
+type Result struct {
+	Schema      int                `json:"schema"`
+	GoVersion   string             `json:"go_version,omitempty"`
+	GOOS        string             `json:"goos,omitempty"`
+	GOARCH      string             `json:"goarch,omitempty"`
+	Benchmarks  []Benchmark        `json:"benchmarks"`
+	HeadlineUSM map[string]float64 `json:"headline_usm,omitempty"`
+}
+
+// Benchmark is one benchmark's merged measurements. Name has the
+// -GOMAXPROCS suffix stripped so artifacts compare across machines; when
+// `-count` produced repeats, the merge keeps the minimum ns/op and
+// B/op / allocs/op (the least-noise estimate) and the maximum of
+// throughput-style custom metrics.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` output and returns the merged benchmarks
+// sorted by name. Lines that are not benchmark results (PASS, ok, warmup
+// noise) are ignored.
+func Parse(r io.Reader) ([]Benchmark, error) {
+	merged := map[string]*Benchmark{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %q: %w", line, err)
+		}
+		if b == nil {
+			continue
+		}
+		mergeInto(merged, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Benchmark, 0, len(merged))
+	for _, b := range merged {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8  1234  567.8 ns/op  24 B/op  1 allocs/op  0.93 USM
+//
+// i.e. name, iteration count, then (value, unit) pairs. Returns (nil, nil)
+// for benchmark lines without measurements (e.g. a bare name before
+// sub-benchmarks).
+func parseLine(line string) (*Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return nil, nil
+	}
+	iters, err := strconv.Atoi(f[1])
+	if err != nil {
+		return nil, nil // "BenchmarkX" header line without measurements
+	}
+	b := &Benchmark{Name: stripProcs(f[0]), Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", f[i])
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "MB/s":
+			setMetric(b, "MB/s", v)
+		default:
+			setMetric(b, unit, v)
+		}
+	}
+	return b, nil
+}
+
+func setMetric(b *Benchmark, unit string, v float64) {
+	if b.Metrics == nil {
+		b.Metrics = map[string]float64{}
+	}
+	b.Metrics[unit] = v
+}
+
+// stripProcs removes the trailing -GOMAXPROCS decoration go test appends.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// mergeInto folds one measurement into the per-name merge: minimum
+// ns/op, B/op and allocs/op across repeats (the least-noisy estimate on a
+// shared machine), maximum for custom metrics, which are throughputs or
+// experiment statistics where the largest observation is the stable one.
+func mergeInto(m map[string]*Benchmark, b *Benchmark) {
+	prev, ok := m[b.Name]
+	if !ok {
+		m[b.Name] = b
+		return
+	}
+	prev.Iterations += b.Iterations
+	if b.NsPerOp > 0 && (prev.NsPerOp == 0 || b.NsPerOp < prev.NsPerOp) {
+		prev.NsPerOp = b.NsPerOp
+	}
+	if b.BytesPerOp < prev.BytesPerOp {
+		prev.BytesPerOp = b.BytesPerOp
+	}
+	if b.AllocsPerOp < prev.AllocsPerOp {
+		prev.AllocsPerOp = b.AllocsPerOp
+	}
+	for k, v := range b.Metrics {
+		if v > prev.Metrics[k] {
+			setMetric(prev, k, v)
+		}
+	}
+}
+
+// Regression is one benchmark that got worse than the tolerance allows.
+type Regression struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"` // "ns/op", "allocs/op" or a custom unit
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Ratio    float64 `json:"ratio"` // current/baseline for costs, baseline/current for rates
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.0f%% worse)",
+		r.Name, r.Metric, r.Baseline, r.Current, (r.Ratio-1)*100)
+}
+
+// DefaultTolerance is the CI gate: fail on >15% throughput regression.
+const DefaultTolerance = 0.15
+
+// CalibrationName is the machine-speed reference benchmark. When both
+// artifacts contain it, Compare rescales the current timings by the
+// calibration ratio before applying the tolerance, so a uniformly slower
+// (or faster) machine — different CI runner, thermal throttling — does
+// not read as a code regression. Allocation counts need no scaling.
+const CalibrationName = "BenchmarkCalibrationSpin"
+
+// lowSampleFloor marks benchmarks whose iteration count is too small for
+// the headline tolerance: relative timing error grows as samples shrink,
+// and the seconds-per-op macro sweeps (Fig4NaiveUSM and friends) manage
+// single-digit iterations in a smoke run. Below the floor on either
+// side, timing tolerances double; allocation checks stay exact.
+const lowSampleFloor = 25
+
+// Compare diffs current against baseline and returns the regressions
+// beyond tolerance. When both artifacts carry the CalibrationName
+// benchmark, timings are first rescaled by the calibration ratio (see
+// CalibrationName). Checked per benchmark present in both artifacts:
+//
+//   - ns/op may not grow by more than the tolerance (after calibration);
+//   - allocs/op may not grow by more than the tolerance (and by at least
+//     one whole allocation — allocation counts are exact, not noisy);
+//   - custom metrics whose unit ends in "/sec" may not shrink by more
+//     than the tolerance (after calibration).
+//
+// Timing tolerances double for benchmarks below lowSampleFloor
+// iterations on either side — their per-op estimates are statistically
+// noisy in short smoke runs.
+//
+// Benchmarks that exist on only one side are reported in missing — a
+// renamed benchmark must be renamed in the baseline too, or the gate
+// silently loses coverage.
+func Compare(baseline, current *Result, tolerance float64) (regs []Regression, missing []string, err error) {
+	if baseline.Schema != current.Schema {
+		return nil, nil, fmt.Errorf("bench: schema mismatch: baseline v%d vs current v%d", baseline.Schema, current.Schema)
+	}
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	cur := map[string]Benchmark{}
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	scale := calibrationScale(baseline, cur)
+	seen := map[string]bool{}
+	for _, base := range baseline.Benchmarks {
+		now, ok := cur[base.Name]
+		if !ok {
+			missing = append(missing, "baseline-only: "+base.Name)
+			continue
+		}
+		seen[base.Name] = true
+		if base.Name == CalibrationName {
+			continue // the reference itself is exempt by construction
+		}
+		effTol := tolerance
+		if base.Iterations < lowSampleFloor || now.Iterations < lowSampleFloor {
+			effTol = 2 * tolerance
+		}
+		if base.NsPerOp > 0 && now.NsPerOp > base.NsPerOp*scale*(1+effTol) {
+			regs = append(regs, Regression{
+				Name: base.Name, Metric: "ns/op",
+				Baseline: base.NsPerOp, Current: now.NsPerOp,
+				Ratio: now.NsPerOp / (base.NsPerOp * scale),
+			})
+		}
+		if now.AllocsPerOp > base.AllocsPerOp*(1+tolerance) && now.AllocsPerOp >= base.AllocsPerOp+1 {
+			regs = append(regs, Regression{
+				Name: base.Name, Metric: "allocs/op",
+				Baseline: base.AllocsPerOp, Current: now.AllocsPerOp,
+				Ratio: (now.AllocsPerOp + 1) / (base.AllocsPerOp + 1),
+			})
+		}
+		for unit, bv := range base.Metrics {
+			if !strings.HasSuffix(unit, "/sec") || bv <= 0 {
+				continue
+			}
+			if nv := now.Metrics[unit]; nv < bv/scale*(1-effTol) {
+				ratio := 0.0
+				if nv > 0 {
+					ratio = bv / scale / nv
+				}
+				regs = append(regs, Regression{
+					Name: base.Name, Metric: unit,
+					Baseline: bv, Current: nv, Ratio: ratio,
+				})
+			}
+		}
+	}
+	for _, b := range current.Benchmarks {
+		if !seen[b.Name] {
+			missing = append(missing, "current-only: "+b.Name)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	sort.Strings(missing)
+	return regs, missing, nil
+}
+
+// calibrationScale returns current/baseline speed of the calibration
+// spin, or 1 when either side lacks it.
+func calibrationScale(baseline *Result, cur map[string]Benchmark) float64 {
+	for _, b := range baseline.Benchmarks {
+		if b.Name != CalibrationName || b.NsPerOp <= 0 {
+			continue
+		}
+		if now, ok := cur[CalibrationName]; ok && now.NsPerOp > 0 {
+			return now.NsPerOp / b.NsPerOp
+		}
+	}
+	return 1
+}

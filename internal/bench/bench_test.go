@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: unitdb
+cpu: shared
+BenchmarkLotterySample-4     	13984680	        84.20 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLotterySample-4     	14100000	        86.90 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAdmissionDecision-4
+BenchmarkAdmissionDecision-4 	 1584000	       742.0 ns/op	      24 B/op	       1 allocs/op
+BenchmarkFig4NaiveUSM-4      	       1	1500000000 ns/op	0.5230 USM(UNIT,med-unif)	0.4000 USM(best-other)	12 B/op	 3 allocs/op
+BenchmarkEngineRun/UNIT-4    	      50	  22000000 ns/op	    920000 events/sec
+PASS
+ok  	unitdb	12.3s
+`
+
+func TestParse(t *testing.T) {
+	bs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	ls, ok := byName["BenchmarkLotterySample"]
+	if !ok {
+		t.Fatalf("missing LotterySample in %v", bs)
+	}
+	if ls.NsPerOp != 84.20 {
+		t.Errorf("merge should keep min ns/op, got %v", ls.NsPerOp)
+	}
+	ad := byName["BenchmarkAdmissionDecision"]
+	if ad.AllocsPerOp != 1 || ad.BytesPerOp != 24 {
+		t.Errorf("allocs parse: %+v", ad)
+	}
+	f4 := byName["BenchmarkFig4NaiveUSM"]
+	if f4.Metrics["USM(UNIT,med-unif)"] != 0.5230 {
+		t.Errorf("custom metric parse: %+v", f4)
+	}
+	er := byName["BenchmarkEngineRun/UNIT"]
+	if er.Metrics["events/sec"] != 920000 {
+		t.Errorf("sub-benchmark parse: %+v", er)
+	}
+	if strings.HasSuffix(er.Name, "-4") {
+		t.Errorf("procs suffix not stripped: %s", er.Name)
+	}
+}
+
+func result(bs ...Benchmark) *Result {
+	return &Result{Schema: SchemaVersion, Benchmarks: bs}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := result(
+		Benchmark{Name: "BenchmarkA", Iterations: 1000, NsPerOp: 100, AllocsPerOp: 2},
+		Benchmark{Name: "BenchmarkB", Iterations: 1000, NsPerOp: 100, Metrics: map[string]float64{"events/sec": 1000}},
+	)
+	cur := result(
+		Benchmark{Name: "BenchmarkA", Iterations: 1000, NsPerOp: 120, AllocsPerOp: 4},
+		Benchmark{Name: "BenchmarkB", Iterations: 1000, NsPerOp: 100, Metrics: map[string]float64{"events/sec": 700}},
+	)
+	regs, missing, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	want := map[string]bool{
+		"BenchmarkA ns/op":      true,
+		"BenchmarkA allocs/op":  true,
+		"BenchmarkB events/sec": true,
+	}
+	for _, r := range regs {
+		key := r.Name + " " + r.Metric
+		if !want[key] {
+			t.Errorf("unexpected regression %s", r)
+		}
+		delete(want, key)
+	}
+	for k := range want {
+		t.Errorf("expected regression %s not reported", k)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := result(Benchmark{Name: "BenchmarkA", Iterations: 1000, NsPerOp: 100, AllocsPerOp: 3})
+	cur := result(Benchmark{Name: "BenchmarkA", Iterations: 1000, NsPerOp: 110, AllocsPerOp: 3})
+	regs, _, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("10%% drift within 15%% tolerance flagged: %v", regs)
+	}
+}
+
+func TestCompareAllocsNeedWholeIncrease(t *testing.T) {
+	// 0 -> 0.4 allocs/op is a rounding artifact of averaged counts, not a
+	// regression; 1 -> 2.2 is real.
+	base := result(
+		Benchmark{Name: "BenchmarkZero", Iterations: 1000, NsPerOp: 10, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkOne", Iterations: 1000, NsPerOp: 10, AllocsPerOp: 1},
+	)
+	cur := result(
+		Benchmark{Name: "BenchmarkZero", Iterations: 1000, NsPerOp: 10, AllocsPerOp: 0.4},
+		Benchmark{Name: "BenchmarkOne", Iterations: 1000, NsPerOp: 10, AllocsPerOp: 2.2},
+	)
+	regs, _, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkOne" {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestCompareCalibrationScaling(t *testing.T) {
+	// The whole machine is 30% slower (calibration 100 -> 130): a
+	// benchmark that slowed proportionally is not a regression, one that
+	// slowed far beyond the machine is.
+	base := result(
+		Benchmark{Name: CalibrationName, NsPerOp: 100},
+		Benchmark{Name: "BenchmarkProportional", Iterations: 1000, NsPerOp: 1000, Metrics: map[string]float64{"events/sec": 1000}},
+		Benchmark{Name: "BenchmarkTrulySlow", Iterations: 1000, NsPerOp: 1000},
+	)
+	cur := result(
+		Benchmark{Name: CalibrationName, NsPerOp: 130},
+		Benchmark{Name: "BenchmarkProportional", Iterations: 1000, NsPerOp: 1300, Metrics: map[string]float64{"events/sec": 769}},
+		Benchmark{Name: "BenchmarkTrulySlow", Iterations: 1000, NsPerOp: 2000},
+	)
+	regs, _, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkTrulySlow" {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestCompareLowSampleWidening(t *testing.T) {
+	// A seconds-per-op macro benchmark (3 iterations) gets twice the
+	// tolerance: 25% drift passes at the doubled 30%, 40% still fails.
+	base := result(
+		Benchmark{Name: "BenchmarkMacroOK", Iterations: 3, NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkMacroBad", Iterations: 3, NsPerOp: 1000},
+	)
+	cur := result(
+		Benchmark{Name: "BenchmarkMacroOK", Iterations: 3, NsPerOp: 1250},
+		Benchmark{Name: "BenchmarkMacroBad", Iterations: 3, NsPerOp: 1400},
+	)
+	regs, _, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkMacroBad" {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestCompareMissing(t *testing.T) {
+	base := result(Benchmark{Name: "BenchmarkGone", Iterations: 1000, NsPerOp: 10})
+	cur := result(Benchmark{Name: "BenchmarkNew", Iterations: 1000, NsPerOp: 10})
+	_, missing, err := Compare(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	base := result()
+	cur := result()
+	cur.Schema = SchemaVersion + 1
+	if _, _, err := Compare(base, cur, 0); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

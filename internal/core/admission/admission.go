@@ -15,7 +15,7 @@ package admission
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"unitdb/internal/core/usm"
 	"unitdb/internal/txn"
@@ -31,6 +31,17 @@ type QueueView interface {
 	UpdateBacklog() float64
 	// QueuedQueries returns the queries in the ready queue, any order.
 	QueuedQueries() []*txn.Txn
+}
+
+// BulkView is an optional QueueView extension: views that can append the
+// queued queries into a caller-provided buffer let the controller reuse
+// one scratch slice across decisions instead of taking a fresh snapshot
+// allocation on every Admit — both gates run per query arrival, so this
+// is an engine hot path (see BenchmarkAdmissionDecision).
+type BulkView interface {
+	// AppendQueuedQueries appends the queued queries to buf and returns
+	// the extended buffer, any order.
+	AppendQueuedQueries(buf []*txn.Txn) []*txn.Txn
 }
 
 // Reason says why a query was rejected.
@@ -77,6 +88,11 @@ type Controller struct {
 	admitted         int
 	rejectedDeadline int
 	rejectedUSM      int
+
+	// scratch is the reusable queued-query buffer of Admit. A Controller
+	// is single-caller by design (the simulator's event loop or the live
+	// server under its mutex), so one buffer suffices.
+	scratch []*txn.Txn
 }
 
 // Option configures a Controller.
@@ -162,8 +178,22 @@ func (c *Controller) Admit(now float64, q *txn.Txn, view QueueView) Reason {
 	if q.Class != txn.ClassQuery {
 		panic(fmt.Sprintf("admission: Admit on non-query %v", q))
 	}
-	queued := view.QueuedQueries()
-	sort.Slice(queued, func(i, j int) bool { return queued[i].HigherPriority(queued[j]) })
+	queued := c.scratch[:0]
+	if bv, ok := view.(BulkView); ok {
+		queued = bv.AppendQueuedQueries(queued)
+	} else {
+		queued = append(queued, view.QueuedQueries()...)
+	}
+	c.scratch = queued[:0]
+	slices.SortFunc(queued, func(a, b *txn.Txn) int {
+		if a.HigherPriority(b) {
+			return -1
+		}
+		if b.HigherPriority(a) {
+			return 1
+		}
+		return 0
+	})
 	base := view.RunningRemaining() + view.UpdateBacklog()
 
 	// Gate 1 — transaction deadline check: C_flex·EST + qe < qt, with EST

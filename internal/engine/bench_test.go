@@ -1,0 +1,94 @@
+// Engine micro-benchmarks, in the external test package so they can
+// drive the engine with the real policies. Each full-run benchmark
+// reports simulated events/sec — the engine's throughput currency and
+// the number the BENCH_baseline.json gate watches.
+package engine_test
+
+import (
+	"testing"
+
+	"unitdb/internal/baseline"
+	"unitdb/internal/baseline/qmf"
+	"unitdb/internal/core"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/workload"
+)
+
+// benchTrace synthesizes one small med-unif trace shared by the
+// benchmarks below (2k queries — large enough to exercise steady state,
+// small enough for tight benchmark loops).
+func benchTrace(b *testing.B) *workload.Workload {
+	b.Helper()
+	qc := workload.SmallQueryConfig()
+	qc.NumQueries = 2000
+	qc.Duration = 8000
+	q, err := workload.GenerateQueries(qc, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, workload.Uniform), 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchPolicy(b *testing.B, name string) engine.Policy {
+	b.Helper()
+	switch name {
+	case "IMU":
+		return baseline.NewIMU()
+	case "ODU":
+		return baseline.NewODU()
+	case "QMF":
+		cfg := qmf.DefaultConfig()
+		cfg.Seed = 1
+		return qmf.New(cfg)
+	case "UNIT":
+		cfg := core.DefaultConfig(usm.Weights{})
+		cfg.Seed = 1
+		return core.New(cfg)
+	default:
+		b.Fatalf("unknown policy %s", name)
+		return nil
+	}
+}
+
+// BenchmarkEngineRun measures a full simulation run per policy and
+// reports simulated events/sec.
+func BenchmarkEngineRun(b *testing.B) {
+	w := benchTrace(b)
+	for _, name := range []string{"IMU", "ODU", "QMF", "UNIT"} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				e, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), benchPolicy(b, name))
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += r.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineConstruct isolates engine setup (event scheduling for
+// every arrival in the trace) from the run loop.
+func BenchmarkEngineConstruct(b *testing.B) {
+	w := benchTrace(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.New(engine.NewConfig(w, usm.Weights{}, 7), baseline.NewIMU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -253,6 +253,12 @@ func (e *Engine) UpdateBacklog() float64 { return e.ready.UpdateBacklog() }
 // QueuedQueries implements admission.QueueView.
 func (e *Engine) QueuedQueries() []*txn.Txn { return e.ready.Queries() }
 
+// AppendQueuedQueries implements admission.BulkView, sparing admission
+// control a queue snapshot allocation per decision.
+func (e *Engine) AppendQueuedQueries(buf []*txn.Txn) []*txn.Txn {
+	return e.ready.AppendQueries(buf)
+}
+
 // BusyTime returns the cumulative CPU time consumed so far by queries and
 // by updates. Feedback controllers difference it across windows to measure
 // utilization.

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/workload"
+)
+
+// accountingCells runs a small grid of (trace, policy, weights) cells and
+// returns the full engine results, giving the property tests a varied set
+// of real runs to check the USM bookkeeping on.
+func accountingCells(t *testing.T) []*engine.Results {
+	t.Helper()
+	cfg := tinyConfig()
+	q, err := cfg.BuildQueryTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*engine.Results
+	for _, d := range []workload.Distribution{workload.Uniform, workload.NegativeCorrelation} {
+		w, err := cfg.BuildCellTrace(q, workload.Med, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range AllPolicies() {
+			for _, weights := range []usm.Weights{
+				{},
+				{Cr: 0.8, Cfm: 0.2, Cfs: 0.2},
+				{Cr: 1, Cfm: 4, Cfs: 1},
+			} {
+				r, err := cfg.RunCellNamed("accounting", w.Name+"/"+string(p), w, p, weights)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// TestOutcomeConservation checks Eq. 4's precondition on every cell: the
+// four outcome classes partition the submitted queries exactly —
+// S + R + F_m + F_s == total submitted, with no query lost or double
+// counted.
+func TestOutcomeConservation(t *testing.T) {
+	cfg := tinyConfig()
+	for _, r := range accountingCells(t) {
+		c := r.Counts
+		if got := c.Success + c.Rejected + c.DMF + c.DSF; got != c.Total() {
+			t.Fatalf("%s/%s: outcome sum %d != total %d", r.Policy, r.Trace, got, c.Total())
+		}
+		if c.Total() != cfg.Query.NumQueries {
+			t.Errorf("%s/%s: accounted %d of %d submitted queries",
+				r.Policy, r.Trace, c.Total(), cfg.Query.NumQueries)
+		}
+		if c.Success < 0 || c.Rejected < 0 || c.DMF < 0 || c.DSF < 0 {
+			t.Fatalf("%s/%s: negative outcome count %+v", r.Policy, r.Trace, c)
+		}
+		// The reported ratios must be the counts over the total.
+		rs, rr, rfm, rfs := c.Ratios()
+		if sum := rs + rr + rfm + rfs; math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s/%s: outcome ratios sum to %v", r.Policy, r.Trace, sum)
+		}
+		if rs != r.SuccessRatio || rr != r.RejectionRatio || rfm != r.DMFRatio || rfs != r.DSFRatio {
+			t.Errorf("%s/%s: results ratios disagree with counts", r.Policy, r.Trace)
+		}
+	}
+}
+
+// TestUSMRecomputation checks Eq. 5 on every cell: the engine's reported
+// USM must equal the metric recomputed from the raw outcome counters and
+// weights, USM = (S − C_r·R − C_fm·F_m − C_fs·F_s) / N.
+func TestUSMRecomputation(t *testing.T) {
+	for _, r := range accountingCells(t) {
+		c := r.Counts
+		n := float64(c.Total())
+		want := (float64(c.Success) - r.Weights.Cr*float64(c.Rejected) -
+			r.Weights.Cfm*float64(c.DMF) - r.Weights.Cfs*float64(c.DSF)) / n
+		if math.Abs(r.USM-want) > 1e-12 {
+			t.Errorf("%s/%s weights %+v: USM %v, recomputed %v",
+				r.Policy, r.Trace, r.Weights, r.USM, want)
+		}
+		// The engine reports the incrementally-accumulated tally (one add
+		// per query), so it may differ from the closed form by float
+		// rounding — but never by more than accumulation noise.
+		if math.Abs(r.USM-c.USM(r.Weights)) > 1e-9 {
+			t.Errorf("%s/%s: Results.USM %v disagrees with Counts.USM %v",
+				r.Policy, r.Trace, r.USM, c.USM(r.Weights))
+		}
+		// Eq. 5's attainable range: [−max penalty, 1].
+		if r.USM > 1 || r.USM < -r.Weights.MaxPenalty() {
+			t.Errorf("%s/%s: USM %v outside [−%v, 1]", r.Policy, r.Trace, r.USM, r.Weights.MaxPenalty())
+		}
+		// Naive weights degenerate to the success ratio (paper §4.3).
+		if r.Weights.Zero() && math.Abs(r.USM-r.SuccessRatio) > 1e-12 {
+			t.Errorf("%s/%s: naive USM %v != success ratio %v", r.Policy, r.Trace, r.USM, r.SuccessRatio)
+		}
+	}
+}
+
+// TestFreshnessInUnitInterval checks Eq. 1's range on every cell: data
+// freshness is a fraction of intervals, so the average over committed
+// queries must stay within (0, 1] whenever anything committed.
+func TestFreshnessInUnitInterval(t *testing.T) {
+	for _, r := range accountingCells(t) {
+		if r.Counts.Success == 0 {
+			continue
+		}
+		if r.AvgFreshness <= 0 || r.AvgFreshness > 1 {
+			t.Errorf("%s/%s: avg freshness %v outside (0, 1]", r.Policy, r.Trace, r.AvgFreshness)
+		}
+	}
+}

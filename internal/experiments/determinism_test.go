@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// workerCounts are the pool sizes the determinism regression pins:
+// the sequential reference path, a small fixed pool, and whatever the
+// host offers. GOMAXPROCS(0) may coincide with 1 or 2 on small runners —
+// the duplication is harmless.
+func workerCounts() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}
+}
+
+// runAllSuites executes every artifact driver at the given worker count
+// and returns the digested results. Digests carry the raw outcome counts
+// and exact float USMs, so DeepEqual on them is as strict as DeepEqual on
+// the full Results graphs for the determinism claim.
+func runAllSuites(t *testing.T, cfg Config, workers int) *Summary {
+	t.Helper()
+	cfg.Workers = workers
+	s, err := BuildSummary(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return s
+}
+
+// TestParallelMatchesSequential is the tentpole regression: every suite,
+// run on the parallel pool, must be reflect.DeepEqual-identical to the
+// sequential reference path at any worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := tinyConfig()
+	ref := runAllSuites(t, cfg, 1)
+	for _, w := range workerCounts()[1:] {
+		got := runAllSuites(t, cfg, w)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: summary differs from sequential run", w)
+		}
+	}
+	// Workers=0 (the default) resolves to GOMAXPROCS and must also match.
+	if got := runAllSuites(t, cfg, 0); !reflect.DeepEqual(got, ref) {
+		t.Error("workers=0 (GOMAXPROCS default): summary differs from sequential run")
+	}
+}
+
+// TestParallelMatchesSequentialFullResults re-runs one suite comparing
+// the complete Results graphs (per-item counters included), not just the
+// digests, to rule out divergence the summary would hide.
+func TestParallelMatchesSequentialFullResults(t *testing.T) {
+	cfg := tinyConfig()
+	run := func(workers int) *Fig4Result {
+		c := cfg
+		c.Workers = workers
+		f, err := Fig4(c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return f
+	}
+	ref := run(1)
+	for _, w := range workerCounts()[1:] {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: Fig4 full results differ from sequential run", w)
+		}
+	}
+}
+
+// TestRepeatedRunsIdentical pins that the same config yields the same
+// summary twice in a row at the same worker count — scheduling noise in
+// one parallel run must not leak into results.
+func TestRepeatedRunsIdentical(t *testing.T) {
+	cfg := tinyConfig()
+	a := runAllSuites(t, cfg, 2)
+	b := runAllSuites(t, cfg, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two identical parallel runs disagree")
+	}
+}
+
+// TestCellSeedsDecorrelated pins that different cells of a suite draw
+// different derived seeds, and that the same cell name draws the same
+// seeds no matter when it is asked.
+func TestCellSeedsDecorrelated(t *testing.T) {
+	cfg := tinyConfig()
+	p1, e1 := cfg.CellSeeds("fig4", "med-unif/UNIT")
+	p2, e2 := cfg.CellSeeds("fig4", "med-unif/UNIT")
+	if p1 != p2 || e1 != e2 {
+		t.Fatal("CellSeeds is not stable for a fixed name")
+	}
+	p3, e3 := cfg.CellSeeds("fig4", "med-unif/QMF")
+	if p1 == p3 || e1 == e3 {
+		t.Fatal("distinct cells share derived seeds")
+	}
+	p4, _ := cfg.CellSeeds("fig5", "med-unif/UNIT")
+	if p1 == p4 {
+		t.Fatal("same cell name in different suites shares a policy seed")
+	}
+	if p1 == e1 {
+		t.Fatal("policy and engine domains collide")
+	}
+}

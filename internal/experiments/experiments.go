@@ -15,6 +15,7 @@ import (
 	"unitdb/internal/core"
 	"unitdb/internal/core/usm"
 	"unitdb/internal/engine"
+	"unitdb/internal/experiments/runner"
 	"unitdb/internal/workload"
 )
 
@@ -43,6 +44,13 @@ type Config struct {
 	PolicySeed uint64
 	// EngineSeed drives the engine's update-feed phasing.
 	EngineSeed uint64
+	// Workers bounds how many experiment cells run concurrently: 0 (the
+	// default) uses one worker per GOMAXPROCS, 1 forces the reference
+	// sequential path, larger values cap the pool. Every setting
+	// produces reflect.DeepEqual-identical results — cell seeds are
+	// derived from the stable (suite, cell) name, never from execution
+	// order (see CellSeeds and package runner).
+	Workers int
 }
 
 // DefaultConfig returns the full-scale experiment configuration.
@@ -84,19 +92,52 @@ func NewPolicy(name PolicyName, weights usm.Weights, seed uint64) (engine.Policy
 	}
 }
 
-// RunCell executes one (trace, policy, weights) cell and returns the
-// engine results.
+// RunCell executes one (trace, policy, weights) cell with the config's
+// raw PolicySeed/EngineSeed. The artifact drivers use RunCellNamed
+// instead, which decorrelates cells via per-(suite, cell) derived seeds;
+// RunCell remains for one-off cells outside a named sweep.
 func (c Config) RunCell(w *workload.Workload, name PolicyName, weights usm.Weights) (*engine.Results, error) {
-	p, err := NewPolicy(name, weights, c.PolicySeed)
+	return c.runSeeded(w, name, weights, c.PolicySeed, c.EngineSeed)
+}
+
+// CellSeeds derives the policy and engine seeds of one named experiment
+// cell from the stable (suite, cell) name:
+//
+//	policySeed = DeriveSeed(PolicySeed, "policy", suite, cell)
+//	engineSeed = DeriveSeed(EngineSeed, "engine", suite, cell)
+//
+// Deriving from the name rather than a shared generator decorrelates the
+// cells of a sweep and makes each cell's randomness independent of
+// execution order — the invariant that lets the parallel runner promise
+// DeepEqual-identical results at any worker count. Trace synthesis
+// deliberately keeps the undecorated QuerySeed/UpdateSeed: every cell of
+// every suite must evaluate the same shared traces (paper §4.1).
+func (c Config) CellSeeds(suite, cell string) (policySeed, engineSeed uint64) {
+	return runner.DeriveSeed(c.PolicySeed, "policy", suite, cell),
+		runner.DeriveSeed(c.EngineSeed, "engine", suite, cell)
+}
+
+// RunCellNamed executes one named (trace, policy, weights) cell with
+// seeds derived by CellSeeds.
+func (c Config) RunCellNamed(suite, cell string, w *workload.Workload, name PolicyName, weights usm.Weights) (*engine.Results, error) {
+	ps, es := c.CellSeeds(suite, cell)
+	return c.runSeeded(w, name, weights, ps, es)
+}
+
+func (c Config) runSeeded(w *workload.Workload, name PolicyName, weights usm.Weights, policySeed, engineSeed uint64) (*engine.Results, error) {
+	p, err := NewPolicy(name, weights, policySeed)
 	if err != nil {
 		return nil, err
 	}
-	e, err := engine.New(engine.NewConfig(w, weights, c.EngineSeed), p)
+	e, err := engine.New(engine.NewConfig(w, weights, engineSeed), p)
 	if err != nil {
 		return nil, err
 	}
 	return e.Run()
 }
+
+// pool returns the runner options for this config's sweeps.
+func (c Config) pool() runner.Options { return runner.Options{Workers: c.Workers} }
 
 // BuildQueryTrace synthesizes the shared query trace.
 func (c Config) BuildQueryTrace() (*workload.Workload, error) {

@@ -51,7 +51,7 @@ func Fig3(cfg Config, v workload.Volume, d workload.Distribution) (*Fig3Result, 
 	if err != nil {
 		return nil, err
 	}
-	r, err := cfg.RunCell(w, UNIT, usm.Weights{})
+	r, err := cfg.RunCellNamed("fig3", w.Name, w, UNIT, usm.Weights{})
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"unitdb/internal/core/usm"
 	"unitdb/internal/engine"
+	"unitdb/internal/experiments/runner"
 	"unitdb/internal/workload"
 )
 
@@ -29,33 +30,57 @@ type Fig4Result struct {
 }
 
 // Fig4 runs the naive-USM comparison over all nine update traces and the
-// four algorithms (paper §4.3).
+// four algorithms (paper §4.3). The sweep fans out on the config's worker
+// pool in two stages — synthesize the nine update traces, then run the
+// 36 (trace, policy) cells — and assembles the cells in the paper's
+// presentation order regardless of scheduling.
 func Fig4(cfg Config) (*Fig4Result, error) {
 	q, err := cfg.BuildQueryTrace()
 	if err != nil {
 		return nil, err
 	}
-	weights := usm.Weights{} // naive setting: USM == success ratio
-	res := &Fig4Result{}
+	type traceSpec struct {
+		v workload.Volume
+		d workload.Distribution
+	}
+	var tspecs []traceSpec
 	for _, d := range []workload.Distribution{workload.Uniform, workload.PositiveCorrelation, workload.NegativeCorrelation} {
 		for _, v := range []workload.Volume{workload.Low, workload.Med, workload.High} {
-			w, err := cfg.BuildCellTrace(q, v, d)
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range AllPolicies() {
-				r, err := cfg.RunCell(w, p, weights)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells = append(res.Cells, Fig4Cell{
-					Volume: v, Distribution: d, Trace: w.Name, Policy: p,
-					USM: r.USM, Results: r,
-				})
-			}
+			tspecs = append(tspecs, traceSpec{v: v, d: d})
 		}
 	}
-	return res, nil
+	traces, err := runner.Map(cfg.pool(), tspecs, func(_ int, s traceSpec) (*workload.Workload, error) {
+		return cfg.BuildCellTrace(q, s.v, s.d)
+	})
+	if err != nil {
+		return nil, err
+	}
+	type cellSpec struct {
+		traceSpec
+		w *workload.Workload
+		p PolicyName
+	}
+	var specs []cellSpec
+	for i, t := range tspecs {
+		for _, p := range AllPolicies() {
+			specs = append(specs, cellSpec{traceSpec: t, w: traces[i], p: p})
+		}
+	}
+	weights := usm.Weights{} // naive setting: USM == success ratio
+	cells, err := runner.Map(cfg.pool(), specs, func(_ int, s cellSpec) (Fig4Cell, error) {
+		r, err := cfg.RunCellNamed("fig4", s.w.Name+"/"+string(s.p), s.w, s.p, weights)
+		if err != nil {
+			return Fig4Cell{}, err
+		}
+		return Fig4Cell{
+			Volume: s.v, Distribution: s.d, Trace: s.w.Name, Policy: s.p,
+			USM: r.USM, Results: r,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{Cells: cells}, nil
 }
 
 // Panel returns the cells of one distribution panel.

@@ -7,6 +7,7 @@ import (
 
 	"unitdb/internal/core/usm"
 	"unitdb/internal/engine"
+	"unitdb/internal/experiments/runner"
 	"unitdb/internal/workload"
 )
 
@@ -52,7 +53,8 @@ type Fig5Result struct {
 }
 
 // Fig5 runs the sensitivity evaluation of paper §4.4: the four algorithms
-// on the med-unif trace under the six Table 2 weight settings.
+// on the med-unif trace under the six Table 2 weight settings. The 24
+// cells fan out on the config's worker pool.
 func Fig5(cfg Config) (*Fig5Result, error) {
 	q, err := cfg.BuildQueryTrace()
 	if err != nil {
@@ -62,17 +64,27 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig5Result{}
+	type cellSpec struct {
+		s WeightSetting
+		p PolicyName
+	}
+	var specs []cellSpec
 	for _, s := range Table2Settings() {
 		for _, p := range AllPolicies() {
-			r, err := cfg.RunCell(w, p, s.Weights)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, Fig5Cell{Setting: s, Policy: p, USM: r.USM, Results: r})
+			specs = append(specs, cellSpec{s: s, p: p})
 		}
 	}
-	return res, nil
+	cells, err := runner.Map(cfg.pool(), specs, func(_ int, c cellSpec) (Fig5Cell, error) {
+		r, err := cfg.RunCellNamed("fig5", c.s.Name+"/"+string(c.p), w, c.p, c.s.Weights)
+		if err != nil {
+			return Fig5Cell{}, err
+		}
+		return Fig5Cell{Setting: c.s, Policy: c.p, USM: r.USM, Results: r}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Cells: cells}, nil
 }
 
 // Cell returns the cell for a setting name and policy, or nil.

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_quick.json from the current QuickConfig run")
+
+// goldenPath is the checked-in replication fixture: the full QuickConfig
+// artifact summary at the default seeds.
+const goldenPath = "testdata/golden_quick.json"
+
+func marshalSummary(t *testing.T, s *Summary) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestGoldenQuickReplication is the replication pin: the QuickConfig
+// experiment suite at the default seeds must reproduce the checked-in
+// golden JSON byte-for-byte — first on the sequential reference path,
+// then on the parallel pool. Any intentional behaviour change must
+// regenerate the fixture (go test ./internal/experiments -update-golden)
+// and justify the diff in review.
+func TestGoldenQuickReplication(t *testing.T) {
+	cfg := QuickConfig()
+
+	cfg.Workers = 1
+	seq, err := BuildSummary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := marshalSummary(t, seq)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("sequential QuickConfig summary diverges from %s (%d vs %d bytes); regenerate with -update-golden if intentional",
+			goldenPath, len(got), len(want))
+	}
+
+	cfg.Workers = 0 // GOMAXPROCS pool
+	par, err := BuildSummary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPar := marshalSummary(t, par); !bytes.Equal(gotPar, want) {
+		t.Errorf("parallel QuickConfig summary diverges from %s", goldenPath)
+	}
+}

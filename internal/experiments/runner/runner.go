@@ -1,0 +1,129 @@
+// Package runner is the deterministic worker pool behind the experiment
+// drivers. Every paper artifact is a sweep over independent cells
+// (trace × algorithm × penalty setting); the pool fans the cells across
+// goroutines while guaranteeing that the assembled result is bit-for-bit
+// identical to a sequential run:
+//
+//   - results land in the output slice by cell index, never by completion
+//     order;
+//   - a cell's randomness comes only from seeds derived by DeriveSeed
+//     from the stable (suite, cell) name — never from a shared generator
+//     drawn in scheduling order;
+//   - when cells fail, the error of the lowest-index failing cell is
+//     returned, regardless of which worker hit an error first;
+//   - every cell runs even after a failure, so the parallel and
+//     sequential paths have identical side effects.
+//
+// The pool deliberately has no other features — no cancellation, no
+// rate limiting, no wall-clock anything — because determinism is the
+// contract the regression tests pin (results must satisfy
+// reflect.DeepEqual across any GOMAXPROCS).
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures one fan-out.
+type Options struct {
+	// Workers bounds how many cells run concurrently. Zero or negative
+	// means runtime.GOMAXPROCS(0); one runs every cell on the calling
+	// goroutine (the reference sequential path).
+	Workers int
+}
+
+// Resolve returns the effective worker count for n cells.
+func (o Options) Resolve(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn over every cell and returns the results in cell order. fn
+// receives the cell's index and value; it must be safe to call
+// concurrently with itself and must derive any randomness from the cell
+// alone (see DeriveSeed). On failure Map returns the error of the
+// lowest-index failing cell.
+func Map[C, R any](opt Options, cells []C, fn func(i int, c C) (R, error)) ([]R, error) {
+	out := make([]R, len(cells))
+	if len(cells) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(cells))
+	workers := opt.Resolve(len(cells))
+	if workers == 1 {
+		for i := range cells {
+			out[i], errs[i] = fn(i, cells[i])
+		}
+		return gather(out, errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				out[i], errs[i] = fn(i, cells[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return gather(out, errs)
+}
+
+// gather returns the results unless some cell failed, in which case the
+// lowest-index error wins (a deterministic choice under any scheduling).
+func gather[R any](out []R, errs []error) ([]R, error) {
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// fnv1aOffset and fnv1aPrime are the FNV-1a 64-bit parameters.
+const (
+	fnv1aOffset uint64 = 14695981039346656037
+	fnv1aPrime  uint64 = 1099511628211
+)
+
+// DeriveSeed derives a stable per-cell seed:
+//
+//	seed = splitmix64(base ^ FNV1a64(part₁ ‖ 0x00 ‖ part₂ ‖ 0x00 ‖ …))
+//
+// The derivation depends only on the base seed and the cell's name parts
+// (conventionally a domain tag, the suite, and the cell key), so a cell
+// draws the same randomness no matter which worker runs it, in which
+// order, or whether the sweep is parallel at all. The trailing 0x00 per
+// part keeps ("ab","c") and ("a","bc") distinct; the splitmix64
+// finalizer decorrelates nearby bases and names.
+func DeriveSeed(base uint64, parts ...string) uint64 {
+	h := fnv1aOffset
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnv1aPrime
+		}
+		h *= fnv1aPrime // fold in the 0x00 separator (XOR with 0 is a no-op)
+	}
+	z := base ^ h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

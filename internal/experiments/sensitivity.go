@@ -9,6 +9,7 @@ import (
 	"unitdb/internal/core/ufm"
 	"unitdb/internal/core/usm"
 	"unitdb/internal/engine"
+	"unitdb/internal/experiments/runner"
 	"unitdb/internal/workload"
 )
 
@@ -37,29 +38,29 @@ func SensitivityCDu(cfg Config, values []float64) ([]SensitivityRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []SensitivityRow
-	for _, cdu := range values {
+	return runner.Map(cfg.pool(), values, func(_ int, cdu float64) (SensitivityRow, error) {
+		cell := fmt.Sprintf("cdu=%g", cdu)
+		policySeed, engineSeed := cfg.CellSeeds("sens", cell)
 		pcfg := core.DefaultConfig(usm.Weights{})
-		pcfg.Seed = cfg.PolicySeed
+		pcfg.Seed = policySeed
 		pcfg.ModulatorOptions = []ufm.Option{
 			ufm.WithConstants(ufm.DefaultCForget, cdu, ufm.DefaultCUu),
 		}
-		e, err := engine.New(engine.NewConfig(w, usm.Weights{}, cfg.EngineSeed), core.New(pcfg))
+		e, err := engine.New(engine.NewConfig(w, usm.Weights{}, engineSeed), core.New(pcfg))
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
 		r, err := e.Run()
 		if err != nil {
-			return nil, err
+			return SensitivityRow{}, err
 		}
-		rows = append(rows, SensitivityRow{
+		return SensitivityRow{
 			CDu:            cdu,
 			USM:            r.USM,
 			SuccessRatio:   r.SuccessRatio,
 			UpdatesApplied: r.UpdatesApplied,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Spread returns max−min USM across the rows — the sensitivity statistic.

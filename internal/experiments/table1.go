@@ -5,6 +5,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"unitdb/internal/experiments/runner"
 	"unitdb/internal/workload"
 )
 
@@ -24,16 +25,18 @@ type Table1Row struct {
 
 // Table1 synthesizes all nine update traces and reports their realized
 // volumes, utilizations and correlations against the paper's targets.
+// The trace syntheses fan out on the config's worker pool; each cell is a
+// pure function of (query trace, cell config, UpdateSeed), so the rows
+// are identical at any worker count.
 func Table1(cfg Config) ([]Table1Row, error) {
 	q, err := cfg.BuildQueryTrace()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table1Row
-	for _, cell := range workload.Table1Cells() {
+	return runner.Map(cfg.pool(), workload.Table1Cells(), func(_ int, cell workload.UpdateConfig) (Table1Row, error) {
 		w, err := workload.GenerateUpdates(q, cell, cfg.UpdateSeed)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		target := 0.0
 		switch cell.Distribution {
@@ -42,7 +45,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 		case workload.NegativeCorrelation:
 			target = -cell.CorrCoef
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Trace:               w.Name,
 			Volume:              cell.Volume,
 			Distribution:        cell.Distribution,
@@ -52,9 +55,8 @@ func Table1(cfg Config) ([]Table1Row, error) {
 			RealizedUtil:        w.UpdateUtilization(),
 			TargetCorrelation:   target,
 			RealizedCorrelation: w.Correlation(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WriteTable1 renders the rows in the layout of paper Table 1.

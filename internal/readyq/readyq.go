@@ -6,22 +6,27 @@
 package readyq
 
 import (
-	"container/heap"
 	"fmt"
 
 	"unitdb/internal/txn"
 )
 
 // Queue is the two-class EDF ready queue. Not safe for concurrent use.
+//
+// Membership is tracked through each transaction's heap index (owned by
+// this package via Txn.SetHeapIndex) rather than a side map: the index
+// plus an identity check against the heap slot answers Contains in O(1)
+// without a map insert on every Push and a delete on every Pop — those
+// map operations used to dominate the queue's cost on the engine hot
+// path (see BenchmarkReadyQueueOps).
 type Queue struct {
 	updates classHeap
 	queries classHeap
-	members map[*txn.Txn]bool
 }
 
 // New creates an empty ready queue.
 func New() *Queue {
-	return &Queue{members: make(map[*txn.Txn]bool)}
+	return &Queue{}
 }
 
 // Len returns the number of queued transactions.
@@ -35,16 +40,22 @@ func (q *Queue) LenClass(c txn.Class) int {
 	return q.queries.Len()
 }
 
-// Contains reports whether t is queued.
-func (q *Queue) Contains(t *txn.Txn) bool { return q.members[t] }
+// Contains reports whether t is queued. A transaction's heap index is
+// only trusted when the slot it names still holds that very transaction,
+// so stale indexes (left by a different queue or a past membership) can
+// never alias.
+func (q *Queue) Contains(t *txn.Txn) bool {
+	h := q.heapFor(t)
+	i := t.HeapIndex()
+	return i >= 0 && i < len(h.txns) && h.txns[i] == t
+}
 
 // Push enqueues t. It panics if t is already queued.
 func (q *Queue) Push(t *txn.Txn) {
-	if q.members[t] {
+	if q.Contains(t) {
 		panic(fmt.Sprintf("readyq: %v pushed twice", t))
 	}
-	q.members[t] = true
-	heap.Push(q.heapFor(t), t)
+	q.heapFor(t).push(t)
 }
 
 // Pop removes and returns the highest-priority transaction (updates first,
@@ -57,9 +68,7 @@ func (q *Queue) Pop() *txn.Txn {
 	if h.Len() == 0 {
 		return nil
 	}
-	t := heap.Pop(h).(*txn.Txn)
-	delete(q.members, t)
-	return t
+	return h.pop()
 }
 
 // Peek returns the highest-priority transaction without removing it, or nil
@@ -76,11 +85,10 @@ func (q *Queue) Peek() *txn.Txn {
 
 // Remove unlinks t from the queue; it reports whether t was queued.
 func (q *Queue) Remove(t *txn.Txn) bool {
-	if !q.members[t] {
+	if !q.Contains(t) {
 		return false
 	}
-	delete(q.members, t)
-	heap.Remove(q.heapFor(t), t.HeapIndex())
+	q.heapFor(t).remove(t.HeapIndex())
 	return true
 }
 
@@ -91,6 +99,13 @@ func (q *Queue) Updates() []*txn.Txn { return snapshot(q.updates.txns) }
 // Queries returns the queued user queries in arbitrary order. The returned
 // slice is freshly allocated.
 func (q *Queue) Queries() []*txn.Txn { return snapshot(q.queries.txns) }
+
+// AppendQueries appends the queued user queries to buf (arbitrary order)
+// and returns the extended buffer — the allocation-free counterpart of
+// Queries for per-decision scans.
+func (q *Queue) AppendQueries(buf []*txn.Txn) []*txn.Txn {
+	return append(buf, q.queries.txns...)
+}
 
 // UpdateBacklog returns the total remaining service demand of queued
 // updates; queries dispatch only after all of it.
@@ -126,30 +141,97 @@ func snapshot(ts []*txn.Txn) []*txn.Txn {
 	return out
 }
 
-// classHeap is a deadline-ordered heap of one transaction class.
+// classHeap is a deadline-ordered binary heap of one transaction class.
+// It is hand-rolled rather than driven through container/heap so the
+// sift operations call Txn.HigherPriority directly instead of going
+// through heap.Interface dispatch on the engine's hottest path.
 type classHeap struct {
 	txns []*txn.Txn
 }
 
 func (h *classHeap) Len() int { return len(h.txns) }
-func (h *classHeap) Less(i, j int) bool {
-	return h.txns[i].HigherPriority(h.txns[j])
-}
-func (h *classHeap) Swap(i, j int) {
-	h.txns[i], h.txns[j] = h.txns[j], h.txns[i]
-	h.txns[i].SetHeapIndex(i)
-	h.txns[j].SetHeapIndex(j)
-}
-func (h *classHeap) Push(x any) {
-	t := x.(*txn.Txn)
+
+// push appends t and restores the heap order, recording heap indexes.
+func (h *classHeap) push(t *txn.Txn) {
 	t.SetHeapIndex(len(h.txns))
 	h.txns = append(h.txns, t)
+	h.up(len(h.txns) - 1)
 }
-func (h *classHeap) Pop() any {
-	n := len(h.txns)
-	t := h.txns[n-1]
-	h.txns[n-1] = nil
-	h.txns = h.txns[:n-1]
+
+// pop removes and returns the root (highest-priority) transaction.
+func (h *classHeap) pop() *txn.Txn {
+	t := h.txns[0]
+	n := len(h.txns) - 1
+	h.txns[0] = h.txns[n]
+	h.txns[0].SetHeapIndex(0)
+	h.txns[n] = nil
+	h.txns = h.txns[:n]
+	if n > 0 {
+		h.down(0)
+	}
 	t.SetHeapIndex(-1)
 	return t
+}
+
+// remove unlinks the transaction at index i.
+func (h *classHeap) remove(i int) {
+	n := len(h.txns) - 1
+	t := h.txns[i]
+	if i != n {
+		h.txns[i] = h.txns[n]
+		h.txns[i].SetHeapIndex(i)
+		h.txns[n] = nil
+		h.txns = h.txns[:n]
+		if !h.down(i) {
+			h.up(i)
+		}
+	} else {
+		h.txns[n] = nil
+		h.txns = h.txns[:n]
+	}
+	t.SetHeapIndex(-1)
+}
+
+// up sifts the element at index i toward the root.
+func (h *classHeap) up(i int) {
+	t := h.txns[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h.txns[parent]
+		if !t.HigherPriority(p) {
+			break
+		}
+		h.txns[i] = p
+		p.SetHeapIndex(i)
+		i = parent
+	}
+	h.txns[i] = t
+	t.SetHeapIndex(i)
+}
+
+// down sifts the element at index i toward the leaves; it reports whether
+// the element moved.
+func (h *classHeap) down(i int) bool {
+	t := h.txns[i]
+	start := i
+	n := len(h.txns)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.txns[r].HigherPriority(h.txns[child]) {
+			child = r
+		}
+		c := h.txns[child]
+		if !c.HigherPriority(t) {
+			break
+		}
+		h.txns[i] = c
+		c.SetHeapIndex(i)
+		i = child
+	}
+	h.txns[i] = t
+	t.SetHeapIndex(i)
+	return i != start
 }

@@ -395,6 +395,12 @@ func (v queueView) RunningRemaining() float64 { return v.running }
 func (v queueView) UpdateBacklog() float64    { return 0 } // updates apply inline
 func (v queueView) QueuedQueries() []*txn.Txn { return v.queued }
 
+// AppendQueuedQueries implements admission.BulkView: the controller
+// reuses its own scratch buffer instead of copying v.queued again.
+func (v queueView) AppendQueuedQueries(buf []*txn.Txn) []*txn.Txn {
+	return append(buf, v.queued...)
+}
+
 // Query submits a user query and blocks until it resolves (success, any
 // failure, or its own deadline).
 func (s *Server) Query(req QueryRequest) QueryResponse {
