@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet unitlint lint-baseline chaos fuzz obs-smoke bench bench-baseline bench-smoke bench-check golden ci
+.PHONY: all build test race lint vet unitlint unitlint-self lint-baseline chaos fuzz obs-smoke bench bench-baseline bench-smoke bench-check golden ci
 
 all: build
 
@@ -18,13 +18,20 @@ race:
 vet:
 	$(GO) vet ./...
 
-# unitlint enforces the determinism/concurrency invariants with seven
-# analyzers — detclock, seededrand, guardedby, usmrange, plus the
-# flow-sensitive locksafe, guardedflow, and outcomeonce (see
-# cmd/unitlint -help). Findings stream to lint.json (the CI artifact);
-# anything not in lint.baseline fails the run.
+# unitlint enforces the determinism/concurrency invariants with ten
+# analyzers — detclock, seededrand, guardedby, usmrange, the
+# flow-sensitive locksafe, guardedflow, outcomeonce, and the
+# interprocedural deadlock, owned, maporder (see cmd/unitlint -help).
+# Findings stream to lint.json (the CI artifact) with a per-analyzer
+# timings trailer; anything not in lint.baseline — or recorded there
+# but stale, under -strict-baseline — fails the run.
 unitlint:
-	$(GO) run ./cmd/unitlint -json ./... > lint.json; code=$$?; cat lint.json; exit $$code
+	$(GO) run ./cmd/unitlint -json -timings -strict-baseline ./... > lint.json; code=$$?; cat lint.json; exit $$code
+
+# Dogfood: the analyzers' own CFG/dataflow/callgraph code holds locks
+# and ranges maps too. Same gates, scoped to internal/lint.
+unitlint-self:
+	$(GO) run ./cmd/unitlint -strict-baseline ./internal/lint/... ./cmd/unitlint
 
 # Re-record the tolerated-findings baseline. An empty lint.baseline is
 # the healthy state: new findings should be fixed, not baselined.
@@ -37,7 +44,7 @@ lint-baseline:
 	$(GO) run ./cmd/unitlint -json -baseline - ./... >> lint.baseline; \
 	$(GO) run ./cmd/unitlint ./...
 
-lint: vet unitlint
+lint: vet unitlint unitlint-self
 
 # Chaos recovery regression: seeded fault injection against the simulator
 # (internal/faults) plus the live server's failure paths, under -race.

@@ -1,6 +1,7 @@
 // Command unitlint checks UNIT's determinism and concurrency invariants:
 //
-//	unitlint [-only locksafe,outcomeonce] [-json] [-baseline file] [packages]
+//	unitlint [-only locksafe,outcomeonce] [-json] [-baseline file]
+//	         [-strict-baseline] [-timings] [packages]
 //
 // Patterns default to ./... and follow go-tool shape (./internal/...,
 // ./cmd/unitsim). Exit status is 0 when clean, 1 on findings, 2 on usage
@@ -10,8 +11,11 @@
 // "message"}), the format CI archives and baselines use. A lint.baseline
 // file in the working directory is loaded automatically (disable with
 // -baseline -): baselined findings are tolerated, new ones fail the run,
-// and stale entries produce a warning. Regenerate with `make
-// lint-baseline`.
+// and every stale entry is listed with its file and analyzer — a warning
+// by default, exit status 1 under -strict-baseline (what `make ci` uses,
+// so fixed findings force a baseline regeneration). Regenerate with
+// `make lint-baseline`. -timings appends per-analyzer wall time (a
+// {"timings_ms":{...}} JSON line under -json).
 //
 // Suppress a deliberate violation with a scoped, reasoned inline comment
 // on (or directly above) the line:
@@ -38,6 +42,8 @@ func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON lines")
 	baseline := flag.String("baseline", "", "baseline file of tolerated findings (default lint.baseline when present; - disables)")
+	strictBaseline := flag.Bool("strict-baseline", false, "exit nonzero when the baseline holds stale entries")
+	timings := flag.Bool("timings", false, "report per-analyzer wall time")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: unitlint [flags] [packages]\n\nAnalyzers:\n")
 		printAnalyzers(flag.CommandLine.Output())
@@ -55,7 +61,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	opts := unitlint.Options{JSON: *jsonOut, Baseline: *baseline}
+	opts := unitlint.Options{JSON: *jsonOut, Baseline: *baseline,
+		StrictBaseline: *strictBaseline, Timings: *timings}
 	os.Exit(unitlint.Main(os.Stdout, dir, *only, opts, flag.Args()))
 }
 

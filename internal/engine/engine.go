@@ -135,9 +135,12 @@ func NewConfig(w *workload.Workload, weights usm.Weights, seed uint64) Config {
 // owned by the event loop inside Run, so there is deliberately no mutex
 // and no "guarded by" annotations here (locksafe and guardedflow have
 // nothing to check; determinism_test pins the absence of shared-state
-// races by replaying runs bit-for-bit). The live counterpart with real
-// goroutines is internal/server, where the same lifecycle runs under
-// Server.mu.
+// races by replaying runs bit-for-bit). The mutable loop state carries
+// "owned by Run" annotations instead, which the unitlint owned analyzer
+// enforces interprocedurally: none of these fields may be touched from
+// a spawned goroutine or an HTTP handler. The live counterpart with
+// real goroutines is internal/server, where the same lifecycle runs
+// under Server.mu.
 type Engine struct {
 	cfg    Config
 	sim    *eventsim.Sim
@@ -146,34 +149,34 @@ type Engine struct {
 	ready  *readyq.Queue
 	acct   *usm.ClassAccountant
 	policy Policy
-	rng    *stats.RNG
+	rng    *stats.RNG // owned by Run
 
-	running  *txn.Txn
-	runEvent *eventsim.Event
-	runStart float64
+	running  *txn.Txn        // owned by Run
+	runEvent *eventsim.Event // owned by Run
+	runStart float64         // owned by Run
 
-	deadlineEvents map[*txn.Txn]*eventsim.Event
-	pendingUpdate  map[int]*txn.Txn // latest enqueued-but-unapplied update per item
-	feedExec       map[int]float64  // update execution time per item (for refreshes)
-	nextID         int64
+	deadlineEvents map[*txn.Txn]*eventsim.Event // owned by Run
+	pendingUpdate  map[int]*txn.Txn             // owned by Run; latest enqueued-but-unapplied update per item
+	feedExec       map[int]float64              // owned by Run; update execution time per item (for refreshes)
+	nextID         int64                        // owned by Run
 
-	busyQuery  float64
-	busyUpdate float64
+	busyQuery  float64 // owned by Run
+	busyUpdate float64 // owned by Run
 
-	preemptions       int
-	restarts          int
-	updatesApplied    int
-	updatesDropped    int
-	updatesSuperseded int
-	refreshesIssued   int
-	updatesLost       int // feed deliveries blocked by a disturbance
-	queriesStalled    int // query arrivals delayed by a disturbance
+	preemptions       int // owned by Run
+	restarts          int // owned by Run
+	updatesApplied    int // owned by Run
+	updatesDropped    int // owned by Run
+	updatesSuperseded int // owned by Run
+	refreshesIssued   int // owned by Run
+	updatesLost       int // owned by Run; feed deliveries blocked by a disturbance
+	queriesStalled    int // owned by Run; query arrivals delayed by a disturbance
 
-	freshSum   float64
-	latencySum float64
-	committed  int
+	freshSum   float64 // owned by Run
+	latencySum float64 // owned by Run
+	committed  int     // owned by Run
 
-	finished bool
+	finished bool // owned by Run
 }
 
 // New builds an engine for one run. It validates the workload and weights.

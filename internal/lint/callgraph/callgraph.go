@@ -1,0 +1,479 @@
+// Package callgraph builds a package-level call graph for unitlint's
+// interprocedural analyzers, purely syntactically (the analysis framework
+// has no types.Info; see internal/lint/analysis for the policy). It
+// resolves what static syntax can honestly resolve:
+//
+//   - direct calls to package-level functions: f()
+//   - method calls through the receiver of the enclosing method: s.m()
+//   - method calls through locals and parameters whose named type is
+//     syntactically evident (var x T; x := T{...}; x := &T{...};
+//     x := new(T); func f(x *T)): x.m()
+//   - one level of field indirection when the field's declared type is a
+//     named in-package type: s.field.m() where field's type is known
+//
+// Everything else — function values, interface method calls, calls
+// through composite expressions — stays unresolved, and unresolved calls
+// simply contribute no edge. Consumers must treat a missing edge as
+// "unknown", never as "does not call": the graph under-approximates the
+// real call relation, which is the honest direction for the analyzers
+// built on it (deadlock and owned only report facts provable from edges
+// that do exist).
+//
+// Each edge is classified by the goroutine context of its call site:
+// a plain call (Call), a call inside a function literal that is not the
+// operand of a go statement (Closure — the callee runs whenever the
+// closure runs, possibly on the same goroutine, e.g. an event-loop
+// callback), or a spawned call (Spawn — `go f()` or any call inside a
+// `go func(){...}` literal, which runs on a new goroutine).
+//
+// The builder also collects the package's struct tables — field types,
+// mutex-typed fields, map-typed field names — and the set of HTTP
+// handler functions (any function with an http.ResponseWriter
+// parameter), because the downstream analyzers all need the same
+// syntactic inventory and it should be computed once.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"unitdb/internal/lint/analysis"
+)
+
+// FuncID names one function declaration in the package: "New" for a
+// package-level function, "Server.worker" for a method (pointer and
+// value receivers are not distinguished — the repo never declares both).
+type FuncID string
+
+// MethodID forms the FuncID of typ's method name.
+func MethodID(typ, name string) FuncID { return FuncID(typ + "." + name) }
+
+// EdgeKind classifies the goroutine context of a call site.
+type EdgeKind uint8
+
+const (
+	// Call is a plain call: the callee runs on the caller's goroutine
+	// before the next statement.
+	Call EdgeKind = iota
+	// Closure is a call inside a function literal that is not spawned:
+	// the callee runs whenever the closure is invoked, which may be the
+	// same goroutine (event-loop callbacks) or another.
+	Closure
+	// Spawn is `go f()` or a call inside a `go func(){...}` literal: the
+	// callee runs on a freshly spawned goroutine.
+	Spawn
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Closure:
+		return "closure"
+	case Spawn:
+		return "spawn"
+	default:
+		return "call"
+	}
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller FuncID
+	Callee FuncID
+	Kind   EdgeKind
+	Pos    token.Pos
+}
+
+// Graph is the package call graph plus the struct tables every
+// interprocedural analyzer needs.
+type Graph struct {
+	// Funcs maps every declared function or method with a body.
+	Funcs map[FuncID]*ast.FuncDecl
+	// Edges lists the resolved call sites in deterministic (file,
+	// position) order.
+	Edges []Edge
+	// Callees indexes Edges by caller.
+	Callees map[FuncID][]Edge
+	// Callers indexes Edges by callee.
+	Callers map[FuncID][]Edge
+
+	// FieldTypes maps struct type → field name → the flattened field
+	// type ("Store", "http.Request"; pointers are dereferenced). Only
+	// fields whose type flattens to a name appear.
+	FieldTypes map[string]map[string]string
+	// MutexFields maps struct type → the set of its sync.Mutex /
+	// sync.RWMutex fields (detected by type name suffix; the repo
+	// imports sync unaliased).
+	MutexFields map[string]map[string]bool
+	// MapFields is the set of field names declared with a map type
+	// anywhere in the package's structs. Field names, not (type, field)
+	// pairs: consumers use it to recognize `x.field` as a map when x's
+	// type is not inferable, accepting the package-local collision risk.
+	MapFields map[string]bool
+	// PkgVars is the set of package-level variable names.
+	PkgVars map[string]bool
+	// Handlers marks functions with an http.ResponseWriter parameter —
+	// HTTP handler entry points, which run on server goroutines.
+	Handlers map[FuncID]bool
+
+	// bindings caches per-function identifier→type tables.
+	bindings map[FuncID]map[string]string
+}
+
+// Build constructs the graph for one package.
+func Build(pkg *analysis.Package) *Graph {
+	g := &Graph{
+		Funcs:       map[FuncID]*ast.FuncDecl{},
+		Callees:     map[FuncID][]Edge{},
+		Callers:     map[FuncID][]Edge{},
+		FieldTypes:  map[string]map[string]string{},
+		MutexFields: map[string]map[string]bool{},
+		MapFields:   map[string]bool{},
+		PkgVars:     map[string]bool{},
+		Handlers:    map[FuncID]bool{},
+		bindings:    map[FuncID]map[string]string{},
+	}
+	g.collectDecls(pkg)
+	for _, file := range pkg.Files {
+		httpNames := analysis.ImportNames(file, "net/http")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			id := DeclID(fd)
+			if isHandler(fd, httpNames) {
+				g.Handlers[id] = true
+			}
+			g.resolveCalls(id, fd)
+		}
+	}
+	sort.SliceStable(g.Edges, func(i, j int) bool { return g.Edges[i].Pos < g.Edges[j].Pos })
+	for _, e := range g.Edges {
+		g.Callees[e.Caller] = append(g.Callees[e.Caller], e)
+		g.Callers[e.Callee] = append(g.Callers[e.Callee], e)
+	}
+	return g
+}
+
+// DeclID names a function declaration.
+func DeclID(fd *ast.FuncDecl) FuncID {
+	if fd.Recv == nil {
+		return FuncID(fd.Name.Name)
+	}
+	_, typ := receiverName(fd)
+	if typ == "" {
+		return FuncID("?." + fd.Name.Name)
+	}
+	return MethodID(typ, fd.Name.Name)
+}
+
+// receiverName mirrors guardedby.ReceiverName without the import cycle
+// risk: the receiver identifier and its named type.
+func receiverName(fd *ast.FuncDecl) (recv, typ string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(fd.Recv.List[0].Names) == 1 {
+		return fd.Recv.List[0].Names[0].Name, id.Name
+	}
+	return "", id.Name
+}
+
+// collectDecls fills the function table and the struct/var inventories.
+func (g *Graph) collectDecls(pkg *analysis.Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					g.Funcs[DeclID(d)] = d
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						if d.Tok == token.VAR {
+							for _, n := range s.Names {
+								g.PkgVars[n.Name] = true
+							}
+						}
+					case *ast.TypeSpec:
+						st, ok := s.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						g.collectStruct(s.Name.Name, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (g *Graph) collectStruct(typ string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if _, ok := field.Type.(*ast.MapType); ok {
+			for _, n := range field.Names {
+				g.MapFields[n.Name] = true
+			}
+			continue
+		}
+		ft := FlattenType(field.Type)
+		if ft == "" {
+			continue
+		}
+		if ft == "sync.Mutex" || ft == "sync.RWMutex" {
+			m := g.MutexFields[typ]
+			if m == nil {
+				m = map[string]bool{}
+				g.MutexFields[typ] = m
+			}
+			for _, n := range field.Names {
+				m[n.Name] = true
+			}
+		}
+		m := g.FieldTypes[typ]
+		if m == nil {
+			m = map[string]string{}
+			g.FieldTypes[typ] = m
+		}
+		for _, n := range field.Names {
+			m[n.Name] = ft
+		}
+	}
+}
+
+// FlattenType renders a type expression as a dotted name: "T", "pkg.T"
+// (pointers dereferenced, generic instantiations stripped), or "" for
+// composite types.
+func FlattenType(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return FlattenType(t.X)
+	case *ast.SelectorExpr:
+		base := FlattenType(t.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + t.Sel.Name
+	case *ast.IndexExpr:
+		return FlattenType(t.X)
+	default:
+		return ""
+	}
+}
+
+// isHandler reports whether fd takes an http.ResponseWriter parameter.
+// The literal spelling "http.ResponseWriter" is accepted even without a
+// net/http import table so in-memory mutation tests parse standalone.
+func isHandler(fd *ast.FuncDecl, httpNames []string) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		ft := FlattenType(p.Type)
+		pkg, name, ok := strings.Cut(ft, ".")
+		if !ok || name != "ResponseWriter" {
+			continue
+		}
+		if pkg == "http" {
+			return true
+		}
+		for _, n := range httpNames {
+			if pkg == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Bindings returns fd's identifier→type table: the receiver, every
+// parameter of named type, and every local whose type is syntactically
+// evident (var x T; x := T{...}; x := &T{...}; x := new(T)). The table
+// is flow-insensitive — later bindings win nothing, the first named
+// binding for an identifier sticks — which over-approximates shadowing
+// but is stable and cheap.
+func (g *Graph) Bindings(id FuncID) map[string]string {
+	if b, ok := g.bindings[id]; ok {
+		return b
+	}
+	fd := g.Funcs[id]
+	b := map[string]string{}
+	if fd != nil {
+		if recv, typ := receiverName(fd); recv != "" && recv != "_" {
+			b[recv] = typ
+		}
+		if fd.Type.Params != nil {
+			for _, p := range fd.Type.Params.List {
+				if ft := FlattenType(p.Type); ft != "" {
+					for _, n := range p.Names {
+						bindFirst(b, n.Name, ft)
+					}
+				}
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(n.Rhs) || len(n.Rhs) != len(n.Lhs) {
+						continue
+					}
+					if t := literalType(n.Rhs[i]); t != "" {
+						bindFirst(b, id.Name, t)
+					}
+				}
+			case *ast.ValueSpec:
+				if t := FlattenType(n.Type); t != "" {
+					for _, name := range n.Names {
+						bindFirst(b, name.Name, t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	g.bindings[id] = b
+	return b
+}
+
+func bindFirst(b map[string]string, name, typ string) {
+	if name == "_" {
+		return
+	}
+	if _, ok := b[name]; !ok {
+		b[name] = typ
+	}
+}
+
+// literalType extracts the named type a value expression evidently
+// constructs: T{...}, &T{...}, new(T).
+func literalType(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return literalType(e.X)
+		}
+	case *ast.CompositeLit:
+		return FlattenType(e.Type)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
+			return FlattenType(e.Args[0])
+		}
+	}
+	return ""
+}
+
+// Resolve maps one call expression inside function id to its callee, if
+// the syntax pins it down. ok is false for unresolved calls.
+func (g *Graph) Resolve(id FuncID, call *ast.CallExpr) (FuncID, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee := FuncID(fun.Name)
+		if fd, ok := g.Funcs[callee]; ok && fd.Recv == nil {
+			return callee, true
+		}
+	case *ast.SelectorExpr:
+		b := g.Bindings(id)
+		switch x := fun.X.(type) {
+		case *ast.Ident:
+			if typ, ok := b[x.Name]; ok {
+				if callee := MethodID(typ, fun.Sel.Name); g.Funcs[callee] != nil {
+					return callee, true
+				}
+			}
+		case *ast.SelectorExpr:
+			// One level of field indirection: base.field.Method().
+			base, ok := x.X.(*ast.Ident)
+			if !ok {
+				break
+			}
+			typ, ok := b[base.Name]
+			if !ok {
+				break
+			}
+			ft, ok := g.FieldTypes[typ][x.Sel.Name]
+			if !ok || strings.Contains(ft, ".") {
+				break
+			}
+			if callee := MethodID(ft, fun.Sel.Name); g.Funcs[callee] != nil {
+				return callee, true
+			}
+		}
+	}
+	return "", false
+}
+
+// resolveCalls walks fd's body recording resolved edges with their
+// goroutine-context kind.
+func (g *Graph) resolveCalls(id FuncID, fd *ast.FuncDecl) {
+	var walk func(n ast.Node, kind EdgeKind)
+	walk = func(n ast.Node, kind EdgeKind) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.GoStmt:
+				if lit, ok := c.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body, Spawn)
+				} else if callee, ok := g.Resolve(id, c.Call); ok {
+					g.Edges = append(g.Edges, Edge{Caller: id, Callee: callee, Kind: Spawn, Pos: c.Call.Pos()})
+				}
+				// Argument expressions evaluate on the caller's goroutine,
+				// but any call among them is vanishingly rare; skip the
+				// subtree rather than misclassify the spawned call itself.
+				return false
+			case *ast.FuncLit:
+				next := Closure
+				if kind == Spawn {
+					next = Spawn
+				}
+				walk(c.Body, next)
+				return false
+			case *ast.CallExpr:
+				if callee, ok := g.Resolve(id, c); ok {
+					g.Edges = append(g.Edges, Edge{Caller: id, Callee: callee, Kind: kind, Pos: c.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, Call)
+}
+
+// Reachable returns every function reachable from the roots over edges
+// whose kind passes keep (the roots themselves included). Traversal
+// order is deterministic.
+func (g *Graph) Reachable(roots []FuncID, keep func(EdgeKind) bool) map[FuncID]bool {
+	seen := map[FuncID]bool{}
+	queue := append([]FuncID(nil), roots...)
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		for _, e := range g.Callees[f] {
+			if keep(e.Kind) && !seen[e.Callee] {
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,170 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"unitdb/internal/lint/analysis"
+)
+
+func parsePkg(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &analysis.Package{
+		Path:  "unitdb/internal/cgfix",
+		Name:  file.Name.Name,
+		Fset:  fset,
+		Files: []*ast.File{file},
+	}
+}
+
+const src = `package cgfix
+
+import (
+	"net/http"
+	"sync"
+)
+
+var global int
+
+type Inner struct{}
+
+func (i *Inner) Ping() {}
+
+type Store struct {
+	mu     sync.Mutex
+	inner  *Inner
+	byName map[string]int
+}
+
+func (s *Store) Get() int { return 0 }
+
+func helper() {}
+
+func Top(s *Store) {
+	helper()
+	s.Get()
+	s.inner.Ping()
+	go helper()
+	go func() { helper() }()
+	f := func() { helper() }
+	f()
+	unknown()
+	cb(helper)
+}
+
+func Handler(w http.ResponseWriter) { helper() }
+`
+
+func build(t *testing.T) *Graph {
+	t.Helper()
+	return Build(parsePkg(t, src))
+}
+
+func TestDecls(t *testing.T) {
+	g := build(t)
+	for _, id := range []FuncID{"Inner.Ping", "Store.Get", "helper", "Top", "Handler"} {
+		if g.Funcs[id] == nil {
+			t.Errorf("Funcs missing %q", id)
+		}
+	}
+	if !g.PkgVars["global"] {
+		t.Error("PkgVars missing global")
+	}
+	if !g.MutexFields["Store"]["mu"] {
+		t.Error("MutexFields missing Store.mu")
+	}
+	if !g.MapFields["byName"] {
+		t.Error("MapFields missing byName")
+	}
+	if got := g.FieldTypes["Store"]["inner"]; got != "Inner" {
+		t.Errorf("FieldTypes[Store][inner] = %q, want %q", got, "Inner")
+	}
+	if !g.Handlers["Handler"] || g.Handlers["Top"] {
+		t.Errorf("Handlers = %v, want exactly {Handler}", g.Handlers)
+	}
+}
+
+// TestEdges checks resolution and goroutine-context classification of
+// every call site in Top — and that the unresolvable ones (unknown(),
+// f(), a function value passed as an argument) contribute no edge.
+func TestEdges(t *testing.T) {
+	g := build(t)
+	type ck struct {
+		callee FuncID
+		kind   EdgeKind
+	}
+	counts := map[ck]int{}
+	for _, e := range g.Callees["Top"] {
+		counts[ck{e.Callee, e.Kind}]++
+	}
+	want := map[ck]int{
+		{"helper", Call}:     1,
+		{"Store.Get", Call}:  1,
+		{"Inner.Ping", Call}: 1, // one level of field indirection
+		{"helper", Spawn}:    2, // go helper() and go func(){ helper() }()
+		{"helper", Closure}:  1, // the unspawned literal bound to f
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("edges Top -> %s (%s): got %d, want %d", k.callee, k.kind, counts[k], n)
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 6 {
+		t.Errorf("Top has %d resolved edges, want 6 (unresolved calls must add none)", total)
+	}
+}
+
+func TestBindings(t *testing.T) {
+	g := build(t)
+	b := g.Bindings("Top")
+	if b["s"] != "Store" {
+		t.Errorf(`Bindings(Top)["s"] = %q, want "Store"`, b["s"])
+	}
+	if typ, ok := b["f"]; ok {
+		t.Errorf("function literal bound f should stay untyped, got %q", typ)
+	}
+	if rb := g.Bindings("Store.Get"); rb["s"] != "Store" {
+		t.Errorf("receiver binding = %q, want Store", rb["s"])
+	}
+}
+
+// TestReachable checks BFS over a kind filter: plain calls only must not
+// cross the spawn edges.
+func TestReachable(t *testing.T) {
+	g := build(t)
+	calls := g.Reachable([]FuncID{"Top"}, func(k EdgeKind) bool { return k == Call })
+	for _, id := range []FuncID{"Top", "helper", "Store.Get", "Inner.Ping"} {
+		if !calls[id] {
+			t.Errorf("Reachable(Top, Call) missing %q", id)
+		}
+	}
+	if calls["Handler"] {
+		t.Error("Handler must not be reachable from Top")
+	}
+	none := g.Reachable([]FuncID{"Inner.Ping"}, func(EdgeKind) bool { return true })
+	if len(none) != 1 || !none["Inner.Ping"] {
+		t.Errorf("Reachable(Inner.Ping) = %v, want just the root", none)
+	}
+}
+
+// TestEdgesDeterministic pins the position ordering of Edges, which the
+// analyzers rely on for stable findings.
+func TestEdgesDeterministic(t *testing.T) {
+	g := build(t)
+	for i := 1; i < len(g.Edges); i++ {
+		if g.Edges[i-1].Pos > g.Edges[i].Pos {
+			t.Fatalf("Edges out of position order at %d", i)
+		}
+	}
+}

@@ -221,6 +221,86 @@ b6 label.fail: call panic [panic]
 	}
 }
 
+// TestGoldenBranchTargets freezes the graphs of the trickier
+// control-transfer forms: labeled break out of switch and select, select
+// without (and entirely without) branches, labels on plain statements,
+// and gotos that form loops the structured constructs cannot — including
+// an irreducible two-entry loop.
+func TestGoldenBranchTargets(t *testing.T) {
+	tests := []struct{ name, body, want string }{
+		{"labeledswitchbreak",
+			`L: switch x { case 1: if y { break L }; f(); default: g() }; h()`, `
+b0 entry: → b1
+b1 label.L: cond(x) → b3 b4
+b2 switch.after: call h [exit]
+b3 switch.case: case; cond(y) → b5 b6
+b4 switch.default: default; call g → b2
+b5 if.then: break L → b2
+b6 if.after: call f → b2
+`},
+		{"labeledselectbreak",
+			`L: select { case <-ch: if y { break L }; f(); default: g() }; h()`, `
+b0 entry: → b1
+b1 label.L: select → b3 b6
+b2 select.after: call h [exit]
+b3 select.comm: comm; cond(y) → b4 b5
+b4 if.then: break L → b2
+b5 if.after: call f → b2
+b6 select.default: default; call g → b2
+`},
+		{"selectnodefault",
+			`select { case <-a: f(); case b <- 1: g() }; h()`, `
+b0 entry: select → b2 b3
+b1 select.after: call h [exit]
+b2 select.comm: comm; call f → b1
+b3 select.comm: comm; call g → b1
+`},
+		{"selectempty",
+			`select {}; f()`, `
+b0 entry: select
+b1 select.after: call f [exit]
+`},
+		{"labeledplainstmt",
+			`x := 0; top: x++; f(); goto top`, `
+b0 entry: assign → b1
+b1 label.top: incdec; call f; goto top → b1
+`},
+		{"labeledrangecontinue",
+			`outer: for k := range m { for j := 0; j < n; j++ { if bad(k, j) { continue outer } }; f(k) }; g()`, `
+b0 entry: → b1
+b1 label.outer: range → b2
+b2 range.head: → b4 b3
+b3 range.after: call g [exit]
+b4 range.body: rangebind; assign → b5
+b5 for.head: cond(j < n) → b8 b6
+b6 for.after: call f → b2
+b7 for.post: incdec → b5
+b8 for.body: cond(bad(k, j)) → b9 b10
+b9 if.then: continue outer → b2
+b10 if.after: → b7
+`},
+		{"gotoirreducible",
+			`a = 1; if c { goto l1 }; goto l2; l1: b = 2; goto l2; l2: d = 3; if e { goto l1 }; return`, `
+b0 entry: assign; cond(c) → b1 b2
+b1 if.then: goto l1 → b3
+b2 if.after: goto l2 → b4
+b3 label.l1: assign; goto l2 → b4
+b4 label.l2: assign; cond(e) → b5 b6
+b5 if.then: goto l1 → b3
+b6 if.after: return [exit]
+`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := New(parse(t, tt.body)).String()
+			want := strings.TrimPrefix(tt.want, "\n")
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
 // TestEdgesConsistent checks the Preds/Succs invariant on a graph that
 // exercises every construct at once.
 func TestEdgesConsistent(t *testing.T) {

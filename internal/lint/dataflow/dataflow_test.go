@@ -208,6 +208,43 @@ func TestEdgeTransfer(t *testing.T) {
 	}
 }
 
+// TestIrreducibleLoopFixpoint: gotos between two labels form a loop with
+// two entries — l1 from the if arm, l2 from the fallthrough — so no
+// single header dominates it and structured-loop solvers would not apply.
+// The round-robin solver must still converge, carrying facts around the
+// retreating edge into both entries.
+func TestIrreducibleLoopFixpoint(t *testing.T) {
+	body := `a = 1; if c { goto l1 }; goto l2; l1: b = 2; goto l2; l2: d = 3; if e { goto l1 }; return`
+	g := cfg.New(parse(t, body))
+
+	res := Solve(g, &Analysis{Entry: names{}, Join: union, Transfer: collect})
+	if got := exitFact(t, g, res, union).sorted(); got != "a,b,d" {
+		t.Errorf("may-assigned at exit = %q, want %q", got, "a,b,d")
+	}
+	// The secondary entry l1 sees d — assigned only in l2 — via the cycle
+	// l1 -> l2 -> l1, proving facts propagated around the loop rather
+	// than just along the two acyclic entry paths.
+	var l1 *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.l1" {
+			l1 = b
+		}
+	}
+	if l1 == nil {
+		t.Fatal("no label.l1 block in graph")
+	}
+	if in := res.In[l1.Index]; in == nil || !in.(names)["d"] {
+		t.Errorf("In[l1] = %v, want d carried around the l1<->l2 cycle", in)
+	}
+
+	// Must-analysis: b is assigned only on the l1 paths, never on the
+	// direct entry -> l2 path, so it cannot survive the intersection.
+	res = Solve(g, &Analysis{Entry: names{}, Join: intersect, Transfer: collect})
+	if got := exitFact(t, g, res, intersect).sorted(); got != "a,d" {
+		t.Errorf("must-assigned at exit = %q, want %q", got, "a,d")
+	}
+}
+
 // TestDeterministic: two runs over the same graph produce identical facts
 // (round-robin order is fixed by block index).
 func TestDeterministic(t *testing.T) {

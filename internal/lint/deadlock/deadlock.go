@@ -1,0 +1,351 @@
+// Package deadlock checks lock acquisition order interprocedurally: it
+// builds a package-wide lock-order graph — an edge A → B for every
+// program point that acquires mutex class B while holding class A,
+// including acquisitions reached through resolved calls — and reports
+//
+//   - any call to a function whose summary (transitively) acquires a
+//     mutex class that is already held at the call site: the callee
+//     will self-deadlock on the caller's lock (the classic
+//     wrapper-calls-wrapper bug, e.g. a method that takes s.mu calling
+//     s.Stats() instead of s.statsLocked());
+//   - any cycle among distinct mutex classes in the order graph: two
+//     goroutines taking the same pair of mutexes in opposite orders
+//     can block each other forever, even though every individual
+//     function looks correct.
+//
+// Held sets come from the same lockstate lattice locksafe uses ("held"
+// is a must-property: true only when every path to the point holds the
+// mutex), and mutex keys are normalized to package-global classes by
+// internal/lint/summary — "(Server).mu" for receiver-rooted keys, so
+// acquisition order composes across functions without call-site
+// substitution. Direct double-locking of one mutex inside a single
+// function is locksafe's finding, not this analyzer's: deadlock only
+// reports self-acquisition that arrives through a call edge, and its
+// order graph never contains self-edges.
+//
+// Spawned calls (`go f()`) do not propagate the held set — the new
+// goroutine starts with nothing held — and deferred calls are skipped
+// (they run at return, where the held set differs). Unresolved calls
+// contribute nothing: like the call graph itself, the analysis
+// under-approximates and stays silent rather than guessing.
+package deadlock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/callgraph"
+	"unitdb/internal/lint/cfg"
+	"unitdb/internal/lint/dataflow"
+	"unitdb/internal/lint/lockstate"
+	"unitdb/internal/lint/summary"
+)
+
+// Analyzer is the deadlock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadlock",
+	Doc:  "no lock-order cycles; no call into a function that re-acquires a held mutex",
+	Run:  run,
+}
+
+// orderEdge is one "B acquired while A held" observation.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	sum   *summary.Summary
+	edges []orderEdge
+	seen  map[string]bool // finding dedupe across merged paths
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, sum: summary.Of(pass.Pkg), seen: map[string]bool{}}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	c.reportCycles()
+	return nil
+}
+
+// checkFunc replays the lockstate facts through fd's blocks, recording
+// order edges at each acquisition and checking callee summaries at each
+// resolved call site.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	fn := callgraph.DeclID(fd)
+	g := cfg.New(fd.Body)
+	res := dataflow.Solve(g, &dataflow.Analysis{
+		Entry:    lockstate.Fact{},
+		Join:     lockstate.Join,
+		Transfer: lockstate.Transfer,
+	})
+	for _, b := range g.Blocks {
+		in := res.In[b.Index]
+		if in == nil && b.Index != 0 {
+			continue // unreachable
+		}
+		fact := lockstate.Fact{}
+		if in != nil {
+			fact = in.(lockstate.Fact)
+		}
+		for _, node := range b.Nodes {
+			c.checkCalls(fn, node, fact)
+			fact = c.applyOps(fn, node, fact)
+		}
+	}
+}
+
+// heldClasses returns the lock classes provably held under fact, sorted.
+func (c *checker) heldClasses(fn callgraph.FuncID, fact lockstate.Fact) []string {
+	var held []string
+	for _, key := range fact.Keys() {
+		if lockstate.Held(fact, key) {
+			held = append(held, c.sum.LockClass(fn, key))
+		}
+	}
+	sort.Strings(held)
+	return held
+}
+
+// checkCalls examines the resolved calls executing in node against the
+// held set on entry to the node. Go statements spawn a fresh goroutine
+// (held set does not transfer) and deferred calls run at return, so
+// both are skipped.
+func (c *checker) checkCalls(fn callgraph.FuncID, node ast.Node, fact lockstate.Fact) {
+	switch node.(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return
+	}
+	held := c.heldClasses(fn, fact)
+	if len(held) == 0 {
+		return
+	}
+	cfg.Walk(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := c.sum.Graph.Resolve(fn, call)
+		if !ok {
+			return true
+		}
+		for _, acq := range c.sum.Acquires[callee] {
+			if contains(held, acq) {
+				c.report(call.Pos(), fmt.Sprintf(
+					"call to %s acquires %s, which is already held at this call (deadlock)",
+					callee, acq))
+				continue
+			}
+			for _, h := range held {
+				c.addEdge(h, acq, call.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// applyOps replays node's lock operations over fact, recording an order
+// edge held → acquired at each Lock/RLock.
+func (c *checker) applyOps(fn callgraph.FuncID, node ast.Node, fact lockstate.Fact) lockstate.Fact {
+	ops := lockstate.Ops(node)
+	if len(ops) == 0 {
+		return fact
+	}
+	fact = fact.Clone()
+	for _, op := range ops {
+		if op.Kind == lockstate.OpLock || op.Kind == lockstate.OpRLock {
+			acq := c.sum.LockClass(fn, op.Key)
+			for _, h := range c.heldClasses(fn, fact) {
+				if h != acq { // same-mutex re-lock is locksafe's finding
+					c.addEdge(h, acq, op.Pos)
+				}
+			}
+		}
+		var next lockstate.Set
+		for _, p := range fact.Get(op.Key).States() {
+			np, _ := lockstate.Apply(op.Kind, op.Key, p)
+			next = next.Add(np)
+		}
+		fact[op.Key] = next
+	}
+	return fact
+}
+
+func (c *checker) addEdge(from, to string, pos token.Pos) {
+	c.edges = append(c.edges, orderEdge{from: from, to: to, pos: pos})
+}
+
+func (c *checker) report(pos token.Pos, msg string) {
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}
+
+// reportCycles finds cycles among distinct lock classes in the order
+// graph and reports one finding per strongly connected component,
+// anchored at the component's earliest edge position.
+func (c *checker) reportCycles() {
+	succ := map[string]map[string]token.Pos{}
+	nodes := map[string]bool{}
+	for _, e := range c.edges {
+		nodes[e.from], nodes[e.to] = true, true
+		m := succ[e.from]
+		if m == nil {
+			m = map[string]token.Pos{}
+			succ[e.from] = m
+		}
+		if p, ok := m[e.to]; !ok || e.pos < p {
+			m[e.to] = e.pos
+		}
+	}
+	for _, scc := range stronglyConnected(nodes, succ) {
+		if len(scc) < 2 {
+			continue // self-edges are never added, so singletons are acyclic
+		}
+		sort.Strings(scc)
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// Anchor the finding at the earliest acquisition that closes the
+		// cycle, and describe a concrete cycle path from the smallest
+		// class for a stable, readable message.
+		pos := token.Pos(0)
+		for _, from := range scc {
+			for to, p := range succ[from] {
+				if inSCC[to] && (pos == 0 || p < pos) {
+					pos = p
+				}
+			}
+		}
+		path := cyclePath(scc[0], inSCC, succ)
+		c.report(pos, fmt.Sprintf(
+			"lock order cycle: %s — these mutexes are acquired in inconsistent order (deadlock)",
+			strings.Join(path, " -> ")))
+	}
+}
+
+// cyclePath walks a deterministic cycle through the SCC starting and
+// ending at start.
+func cyclePath(start string, inSCC map[string]bool, succ map[string]map[string]token.Pos) []string {
+	path := []string{start}
+	seen := map[string]bool{start: true}
+	cur := start
+	for range inSCC {
+		nexts := make([]string, 0, len(succ[cur]))
+		for to := range succ[cur] {
+			if inSCC[to] {
+				nexts = append(nexts, to)
+			}
+		}
+		sort.Strings(nexts)
+		// Prefer closing the cycle, then an unvisited node.
+		next := ""
+		for _, n := range nexts {
+			if n == start {
+				next = n
+				break
+			}
+		}
+		if next == start {
+			break
+		}
+		for _, n := range nexts {
+			if !seen[n] {
+				next = n
+				break
+			}
+		}
+		if next == "" {
+			break
+		}
+		path = append(path, next)
+		seen[next] = true
+		cur = next
+	}
+	return append(path, start)
+}
+
+// stronglyConnected is Tarjan's algorithm over deterministically sorted
+// nodes and successors.
+func stronglyConnected(nodes map[string]bool, succ map[string]map[string]token.Pos) [][]string {
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		ws := make([]string, 0, len(succ[v]))
+		for w := range succ[v] {
+			ws = append(ws, w)
+		}
+		sort.Strings(ws)
+		for _, w := range ws {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range sorted {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+// Package dlfix exercises the deadlock analyzer: wrapper re-acquisition
+// through a call edge, direct and call-mediated ABBA lock-order cycles,
+// and the clean patterns that must stay silent.
+package dlfix
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+// lockAB and lockBA acquire the package mutexes in opposite orders: two
+// goroutines running them concurrently can block each other forever,
+// even though each function on its own is perfectly balanced.
+func lockAB() {
+	muA.Lock()
+	muB.Lock() // want `lock order cycle: \(pkg\)\.muA -> \(pkg\)\.muB -> \(pkg\)\.muA`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var muC, muD sync.Mutex
+
+func lockC() { muC.Lock(); muC.Unlock() }
+func lockD() { muD.Lock(); muD.Unlock() }
+
+// withC holds muC across a call whose summary acquires muD, withD the
+// reverse: the cycle only exists across call edges — no single function
+// ever touches both mutexes.
+func withC() {
+	muC.Lock()
+	lockD() // want `lock order cycle: \(pkg\)\.muC -> \(pkg\)\.muD -> \(pkg\)\.muC`
+	muC.Unlock()
+}
+
+func withD() {
+	muD.Lock()
+	lockC()
+	muD.Unlock()
+}
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Stats takes the lock itself: callers must not already hold it.
+func (s *Store) Stats() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Store) statsLocked() int { return s.n }
+
+// Window calls the locking wrapper while already holding mu: the callee
+// blocks forever on its caller's own lock.
+func (s *Store) Window() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Stats() // want `call to Store.Stats acquires \(Store\)\.mu, which is already held at this call \(deadlock\)`
+}
+
+// Sum uses the sanctioned Locked-suffix pattern: the callee assumes the
+// lock instead of taking it.
+func (s *Store) Sum() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+// sequential never holds both package mutexes at once: no order edge in
+// either direction.
+func sequential() {
+	muA.Lock()
+	muA.Unlock()
+	muB.Lock()
+	muB.Unlock()
+}
+
+// spawnStats starts Stats on a fresh goroutine, which begins with
+// nothing held — the caller's lock does not transfer to the callee.
+func (s *Store) spawnStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.Stats()
+}

@@ -1,0 +1,156 @@
+// Package maporder catches the classic Go replay-determinism bug: map
+// iteration order escaping into output that must be deterministic. The
+// repo's golden-replication tests compare JSON byte-for-byte, so a
+// slice built by appending inside a `for k := range m` loop and emitted
+// without an intervening sort is a latent flake.
+//
+// The taint engine lives in internal/lint/summary: range over a map
+// taints the iteration variables, appends inside a map-range loop taint
+// the slice, taint flows through copies, composite literals, indexing,
+// and calls to in-package functions whose summary says their return
+// value carries iteration order; sort.* / slices.* calls untaint.
+// Binary expressions do not propagate taint (sums and comparisons over
+// map values are order-independent), and writes into maps absorb it (a
+// map is unordered however it was filled).
+//
+// Findings, at the point where order escapes:
+//
+//   - a channel send of a tainted value;
+//   - a tainted argument to an output call (Write, WriteString,
+//     WriteJSONL, Encode, Fprint*, Print*, Record, RecordDecision);
+//   - a tainted return value of an exported function or method — the
+//     package boundary is where deterministic order becomes part of
+//     the contract. Unexported functions returning taint are not
+//     findings themselves; their callers inherit the taint through the
+//     function summary and are judged where it finally escapes.
+package maporder
+
+import (
+	"go/ast"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/callgraph"
+	"unitdb/internal/lint/cfg"
+	"unitdb/internal/lint/summary"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach returns, channel sends, or writes unsorted",
+	Run:  run,
+}
+
+// sinkNames are call names that emit their arguments into output whose
+// order the repo treats as meaningful.
+var sinkNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteJSONL": true, "Encode": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Record": true, "RecordDecision": true,
+}
+
+func run(pass *analysis.Pass) error {
+	sum := summary.Of(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := callgraph.DeclID(fd)
+			exported := ast.IsExported(fd.Name.Name)
+			checkUnit(pass, sum.NewTaintUnit(fn, fd.Body, nil), exported, fd.Name.Name)
+			// Function literals are separate analysis units (their bodies
+			// run at call time); they share the encloser's bindings but
+			// never its export status — a literal's return is not a
+			// package-boundary escape.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkUnit(pass, sum.NewTaintUnit(fn, lit.Body, litMapParams(lit)), false, "")
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// litMapParams collects a literal's map-typed parameter names.
+func litMapParams(lit *ast.FuncLit) map[string]bool {
+	out := map[string]bool{}
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, p := range lit.Type.Params.List {
+		if _, ok := p.Type.(*ast.MapType); ok {
+			for _, n := range p.Names {
+				out[n.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkUnit replays the solved taint facts through one unit's blocks
+// and reports each escape.
+func checkUnit(pass *analysis.Pass, u *summary.TaintUnit, exported bool, name string) {
+	for _, b := range u.CFG.Blocks {
+		in := u.Result.In[b.Index]
+		if in == nil && b.Index != 0 {
+			continue // unreachable
+		}
+		f := summary.Taint{}
+		if in != nil {
+			f = in.(summary.Taint)
+		}
+		for _, node := range b.Nodes {
+			checkNode(pass, u, node, f, exported, name)
+			f = u.Transfer(node, f).(summary.Taint)
+		}
+	}
+}
+
+func checkNode(pass *analysis.Pass, u *summary.TaintUnit, node ast.Node, f summary.Taint, exported bool, name string) {
+	switch n := node.(type) {
+	case *ast.SendStmt:
+		if u.ExprTainted(f, n.Value) {
+			pass.Reportf(n.Pos(),
+				"map iteration order reaches a channel send; receivers see a nondeterministic sequence (sort first)")
+		}
+		return
+	case *ast.ReturnStmt:
+		if exported {
+			for _, res := range n.Results {
+				if u.ExprTainted(f, res) {
+					pass.Reportf(n.Pos(),
+						"map iteration order reaches the return value of exported %s; sort before returning", name)
+					break
+				}
+			}
+		}
+		return
+	}
+	// Output calls anywhere in the node. cfg.Walk handles the composite
+	// statements the builder stores whole and never descends into
+	// function literals (those are separate units).
+	cfg.Walk(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sinkNames[sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u.ExprTainted(f, arg) {
+				pass.Reportf(call.Pos(),
+					"map iteration order reaches %s; the emitted order is nondeterministic (sort first)", sel.Sel.Name)
+				break
+			}
+		}
+		return true
+	})
+}

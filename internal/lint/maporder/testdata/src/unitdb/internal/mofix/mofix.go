@@ -1,0 +1,104 @@
+// Package mofix exercises the maporder analyzer: map-iteration order
+// escaping into deterministic output — returns of exported functions,
+// channel sends, output calls — without an intervening sort.
+package mofix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type Reg struct {
+	items map[string]int
+}
+
+// Names sorts before returning: clean.
+func (r *Reg) Names() []string {
+	var names []string
+	for name := range r.items {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Dump leaks iteration order across the exported boundary.
+func (r *Reg) Dump() []string {
+	var names []string
+	for name := range r.items {
+		names = append(names, name)
+	}
+	return names // want `map iteration order reaches the return value of exported Dump; sort before returning`
+}
+
+// Total folds the values into an accumulator: sums are order-independent.
+func (r *Reg) Total() int {
+	total := 0
+	for _, v := range r.items {
+		total += v
+	}
+	return total
+}
+
+// Stream sends keys in iteration order: every receiver sees a different
+// sequence on every run.
+func Stream(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `map iteration order reaches a channel send; receivers see a nondeterministic sequence \(sort first\)`
+	}
+}
+
+// Emit writes the keys unsorted, then sorted: only the first escapes.
+func Emit(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Fprintln(w, keys) // want `map iteration order reaches Fprintln; the emitted order is nondeterministic \(sort first\)`
+	sort.Strings(keys)
+	fmt.Fprintln(w, keys)
+}
+
+// keysOf is unexported: its tainted return is not a finding here —
+// callers inherit the taint through the function summary instead.
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Exported relays the unexported helper's taint to the package boundary.
+func Exported(m map[string]int) []string {
+	return keysOf(m) // want `map iteration order reaches the return value of exported Exported; sort before returning`
+}
+
+// SortedOf launders the helper's taint with an explicit sort: clean.
+func SortedOf(m map[string]int) []string {
+	out := keysOf(m)
+	sort.Strings(out)
+	return out
+}
+
+// Invert writes into a map: a map is unordered however it is filled.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// MakeDumper returns a closure; a literal's return is not a
+// package-boundary escape, and the closure itself carries no taint.
+func MakeDumper(m map[string]int) func() []string {
+	return func() []string {
+		var out []string
+		for k := range m {
+			out = append(out, k)
+		}
+		return out
+	}
+}

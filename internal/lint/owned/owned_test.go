@@ -1,0 +1,125 @@
+package owned
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "unitdb/internal/ownfix")
+}
+
+// TestMutationHandlerTouch is the seeded mutation check from the issue:
+// appending an HTTP handler that increments the engine's Run-owned
+// transaction counter must produce exactly one owned finding on the real
+// engine source.
+func TestMutationHandlerTouch(t *testing.T) {
+	src := readEngineGo(t)
+	mutated := src + "\nfunc (e *Engine) handleDebug(w http.ResponseWriter) {\n\te.nextID++\n}\n"
+
+	diags := runOnSource(t, mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "runs on an HTTP handler goroutine") {
+		t.Errorf("finding is not a handler-goroutine report: %s", diags[0])
+	}
+}
+
+// TestMutationSpawnedTouch wraps one of Run's owned-field increments in
+// a spawned literal — the single-goroutine discipline broken from inside
+// the owner itself — and must produce exactly one owned finding.
+func TestMutationSpawnedTouch(t *testing.T) {
+	src := readEngineGo(t)
+	mutated := strings.Replace(src,
+		"e.nextID++",
+		"go func() { e.nextID++ }()", 1)
+	if mutated == src {
+		t.Fatal("mutation had no effect; did internal/engine/engine.go change shape?")
+	}
+
+	diags := runOnSource(t, mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "touched inside a go statement's function literal") {
+		t.Errorf("finding is not a spawned-literal report: %s", diags[0])
+	}
+}
+
+// TestUnmutatedEngineIsClean pins the baseline the mutation tests depend
+// on: the real file, annotations and all, must produce no owned findings.
+func TestUnmutatedEngineIsClean(t *testing.T) {
+	if diags := runOnSource(t, readEngineGo(t)); len(diags) != 0 {
+		t.Fatalf("unexpected findings on pristine engine.go:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
+// TestEngineHasOwnedAnnotations guards the annotation sweep itself: the
+// mutation tests above are vacuous if the Engine struct loses its
+// "owned by Run" comments.
+func TestEngineHasOwnedAnnotations(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "engine.go", readEngineGo(t), parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	owned := CollectOwned([]*ast.File{file})
+	fields := owned["Engine"]
+	if len(fields) == 0 {
+		t.Fatal("Engine struct carries no 'owned by' annotations")
+	}
+	for _, name := range []string{"nextID", "running", "committed", "finished"} {
+		if fields[name] != "Run" {
+			t.Errorf("Engine.%s: owner = %q, want %q", name, fields[name], "Run")
+		}
+	}
+}
+
+func readEngineGo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "engine", "engine.go")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading real source: %v", err)
+	}
+	return string(b)
+}
+
+// runOnSource applies the analyzer to one in-memory file.
+func runOnSource(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "engine.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &analysis.Package{
+		Path:  "unitdb/internal/engine",
+		Name:  file.Name.Name,
+		Fset:  fset,
+		Files: []*ast.File{file},
+	}
+	var diags []analysis.Diagnostic
+	if err := Analyzer.Run(analysis.NewPass(Analyzer, pkg, &diags)); err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if !analysis.Suppressed(pkg, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,64 @@
+// Package ownfix exercises the owned analyzer: struct fields annotated
+// "owned by <method>" must never be touched from a context that provably
+// runs on a different goroutine than the owner's loop — go-statement
+// literals, functions spawned with go, and HTTP handlers.
+package ownfix
+
+import "net/http"
+
+type Loop struct {
+	next int   // owned by Run
+	done bool  // owned by Run
+	out  []int // unannotated: deliberately shared
+}
+
+// Run is the owning event loop; its own accesses are fine, as are
+// accesses in anything it calls on its goroutine.
+func (l *Loop) Run() {
+	for !l.done {
+		l.step()
+	}
+}
+
+func (l *Loop) step() { l.next++ }
+
+// Start spawns the owner itself — that is how the loop begins, not a
+// violation of it.
+func Start(l *Loop) {
+	go l.Run()
+}
+
+// leak touches an owned field inside a go literal: always foreign, even
+// when written inside a method the owner calls.
+func (l *Loop) leak() {
+	go func() {
+		l.next++ // want `l\.next is owned by the Loop\.Run goroutine but is touched inside a go statement's function literal`
+	}()
+}
+
+// onTick's closure is not spawned: it may well run on the owner's
+// goroutine (an event-loop callback), so the access is allowed.
+func (l *Loop) onTick() {
+	tick := func() { l.next++ }
+	tick()
+}
+
+// ServeStatus runs on an HTTP server goroutine; reaching the owned
+// field from it — here through a callee — races with the loop.
+func (l *Loop) ServeStatus(w http.ResponseWriter, r *http.Request) {
+	l.out = append(l.out, l.peek())
+}
+
+func (l *Loop) peek() int {
+	return l.next // want `l\.next is owned by the Loop\.Run goroutine but Loop\.peek runs on an HTTP handler goroutine`
+}
+
+// drain is spawned onto its own goroutine and is not the owner, so its
+// write to an owned field is provably cross-goroutine.
+func (l *Loop) watch() {
+	go l.drain()
+}
+
+func (l *Loop) drain() {
+	l.done = true // want `l\.done is owned by the Loop\.Run goroutine but Loop\.drain is reachable from spawned goroutine Loop\.drain`
+}

@@ -1,4 +1,4 @@
-// Package unitlint is the multichecker driving UNIT's seven invariant
+// Package unitlint is the multichecker driving UNIT's ten invariant
 // analyzers. Four are syntactic: detclock (no wall clock in the
 // simulator core), seededrand (no global math/rand anywhere), guardedby
 // (lock annotations on concurrent structs exist), and usmrange (literal
@@ -7,9 +7,16 @@
 // locksafe (every mutex acquired is released on all paths, no double
 // lock/unlock), guardedflow (guarded-field accesses happen where the
 // mutex is provably held), and outcomeonce (every path records exactly
-// one terminal transaction outcome). The driver also audits
-// //unitlint:ignore comments (analyzer name "ignore"): scoped, reasoned
-// ignores suppress; malformed ones are findings.
+// one terminal transaction outcome). Three are interprocedural, built
+// on the internal/lint/callgraph + internal/lint/summary layer (whose
+// per-package summaries are computed once and cached, shared by all
+// three): deadlock (no lock-order cycles, no call into a function that
+// re-acquires a held mutex), owned ('// owned by <method>' fields are
+// never touched from spawned goroutines or HTTP handlers), and
+// maporder (map iteration order never escapes into deterministic
+// output unsorted). The driver also audits //unitlint:ignore comments
+// (analyzer name "ignore"): scoped, reasoned ignores suppress;
+// malformed ones are findings.
 //
 // cmd/unitlint is a thin main around Main; tests drive Run directly.
 // Findings can stream as JSON lines (one object per finding) and be
@@ -22,18 +29,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/deadlock"
 	"unitdb/internal/lint/detclock"
 	"unitdb/internal/lint/guardedby"
 	"unitdb/internal/lint/guardedflow"
 	"unitdb/internal/lint/loader"
 	"unitdb/internal/lint/locksafe"
+	"unitdb/internal/lint/maporder"
 	"unitdb/internal/lint/outcomeonce"
+	"unitdb/internal/lint/owned"
 	"unitdb/internal/lint/seededrand"
 	"unitdb/internal/lint/usmrange"
 )
@@ -47,6 +59,9 @@ var Analyzers = []*analysis.Analyzer{
 	locksafe.Analyzer,
 	guardedflow.Analyzer,
 	outcomeonce.Analyzer,
+	deadlock.Analyzer,
+	owned.Analyzer,
+	maporder.Analyzer,
 }
 
 // Select returns the analyzers named in the comma-separated list, or the
@@ -72,24 +87,35 @@ func Select(only string) ([]*analysis.Analyzer, error) {
 
 // Run loads the packages matched by patterns under dir and applies the
 // analyzers, returning the surviving (non-suppressed) diagnostics plus
-// the ignore-comment audit, sorted by position. Filenames are reported
-// relative to dir so output and baselines are machine-independent.
+// the ignore-comment audit, sorted by (file, line, analyzer, message)
+// so output diffs cleanly run-to-run. Filenames are reported relative
+// to dir so output and baselines are machine-independent.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	diags, _, err := RunTimed(dir, patterns, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer wall time, summed across packages.
+func RunTimed(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, map[string]time.Duration, error) {
 	pkgs, err := loader.Load(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	known := map[string]bool{}
 	for _, a := range Analyzers {
 		known[a.Name] = true
 	}
+	timings := map[string]time.Duration{}
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			var out []analysis.Diagnostic
 			pass := analysis.NewPass(a, pkg, &out)
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("unitlint: %s on %s: %w", a.Name, pkg.Path, err)
+			start := time.Now()
+			runErr := a.Run(pass)
+			timings[a.Name] += time.Since(start)
+			if runErr != nil {
+				return nil, nil, fmt.Errorf("unitlint: %s on %s: %w", a.Name, pkg.Path, runErr)
 			}
 			for _, d := range out {
 				if !analysis.Suppressed(pkg, d) {
@@ -114,9 +140,15 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analy
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return a.Pos.Column < b.Pos.Column
 	})
-	return diags, nil
+	return diags, timings, nil
 }
 
 // Finding is the JSON-line form of one diagnostic — both the -json
@@ -178,12 +210,19 @@ type Options struct {
 	// Baseline names the baseline file: "" auto-loads dir/lint.baseline
 	// when present, "-" disables baselining, anything else must exist.
 	Baseline string
+	// StrictBaseline fails the run (exit 1) when the baseline holds
+	// stale entries, instead of only warning — CI uses it so a fixed
+	// finding forces the baseline to be regenerated.
+	StrictBaseline bool
+	// Timings appends per-analyzer wall time to the output: a JSON line
+	// {"timings_ms":{...}} in JSON mode, a readable table otherwise.
+	Timings bool
 }
 
 // Main runs the suite for a command line: it prints diagnostics to w and
 // returns the process exit code — 0 clean (baselined findings tolerated,
-// stale baseline entries warn), 1 on new findings, 2 on usage/load
-// errors.
+// stale baseline entries warn, or fail under StrictBaseline), 1 on new
+// findings, 2 on usage/load errors.
 func Main(w io.Writer, dir, only string, opts Options, patterns []string) int {
 	analyzers, err := Select(only)
 	if err != nil {
@@ -193,7 +232,7 @@ func Main(w io.Writer, dir, only string, opts Options, patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := Run(dir, patterns, analyzers)
+	diags, timings, err := RunTimed(dir, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(w, err)
 		return 2
@@ -251,13 +290,38 @@ func Main(w io.Writer, dir, only string, opts Options, patterns []string) int {
 	if stale > 0 {
 		fmt.Fprintf(w, "unitlint: %d stale baseline entr(ies); regenerate with `make lint-baseline`\n", stale)
 	}
+	if opts.Timings {
+		if err := writeTimings(w, opts.JSON, analyzers, timings); err != nil {
+			fmt.Fprintln(w, err)
+			return 2
+		}
+	}
 	if len(fresh) > 0 {
 		if !opts.JSON {
 			fmt.Fprintf(w, "unitlint: %d finding(s)\n", len(fresh))
 		}
 		return 1
 	}
+	if stale > 0 && opts.StrictBaseline {
+		return 1
+	}
 	return 0
+}
+
+// writeTimings emits per-analyzer wall time: one {"timings_ms":{...}}
+// JSON line (milliseconds, 3 decimals) or a readable table.
+func writeTimings(w io.Writer, jsonOut bool, analyzers []*analysis.Analyzer, timings map[string]time.Duration) error {
+	if jsonOut {
+		ms := make(map[string]float64, len(timings))
+		for name, d := range timings {
+			ms[name] = math.Round(float64(d.Microseconds())/1000*1000) / 1000
+		}
+		return json.NewEncoder(w).Encode(map[string]map[string]float64{"timings_ms": ms})
+	}
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "unitlint: timing: %-12s %s\n", a.Name, timings[a.Name].Round(time.Microsecond))
+	}
+	return nil
 }
 
 func sortedKeys(m map[string]int) []string {

@@ -47,8 +47,8 @@ func TestRepoIsClean(t *testing.T) {
 
 func TestSelect(t *testing.T) {
 	all, err := unitlint.Select("")
-	if err != nil || len(all) != 7 {
-		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite of 7", len(all), err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want the full suite of 10", len(all), err)
 	}
 	two, err := unitlint.Select("locksafe, outcomeonce")
 	if err != nil || len(two) != 2 || two[0].Name != "locksafe" || two[1].Name != "outcomeonce" {
@@ -134,6 +134,81 @@ func TestMainJSONAndBaseline(t *testing.T) {
 	}
 	if !strings.Contains(stale.String(), "stale baseline entry") {
 		t.Fatalf("no stale warning: %s", stale.String())
+	}
+}
+
+// TestStrictBaseline pins the CI gate: a stale baseline entry is a
+// warning by default but exit 1 under StrictBaseline, and a
+// strict-baseline run with nothing stale stays 0.
+func TestStrictBaseline(t *testing.T) {
+	dir := writeModule(t, dirtySrc)
+
+	var jsonOut strings.Builder
+	if code := unitlint.Main(&jsonOut, dir, "seededrand", unitlint.Options{JSON: true}, nil); code != 1 {
+		t.Fatalf("dirty run exit = %d, want 1", code)
+	}
+	baseline := filepath.Join(dir, "lint.baseline")
+	if err := os.WriteFile(baseline, []byte(jsonOut.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Entry live and matched: strict mode is as quiet as lax mode.
+	var quiet strings.Builder
+	if code := unitlint.Main(&quiet, dir, "seededrand", unitlint.Options{StrictBaseline: true}, nil); code != 0 {
+		t.Fatalf("strict run with live baseline exit = %d, want 0; output:\n%s", code, quiet.String())
+	}
+
+	// Fix the violation: the now-stale entry fails only the strict run.
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"),
+		[]byte("package scratch\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var lax strings.Builder
+	if code := unitlint.Main(&lax, dir, "seededrand", unitlint.Options{}, nil); code != 0 {
+		t.Fatalf("lax stale run exit = %d, want 0; output:\n%s", code, lax.String())
+	}
+	var strict strings.Builder
+	if code := unitlint.Main(&strict, dir, "seededrand", unitlint.Options{StrictBaseline: true}, nil); code != 1 {
+		t.Fatalf("strict stale run exit = %d, want 1; output:\n%s", code, strict.String())
+	}
+	if !strings.Contains(strict.String(), "stale baseline entry") {
+		t.Fatalf("strict run did not name the stale entry: %s", strict.String())
+	}
+}
+
+// TestTimings checks both renderings of per-analyzer wall time: a
+// {"timings_ms":{...}} JSON line covering every selected analyzer, and
+// the human-readable table.
+func TestTimings(t *testing.T) {
+	dir := writeModule(t, "package scratch\n")
+
+	var jsonOut strings.Builder
+	if code := unitlint.Main(&jsonOut, dir, "seededrand,detclock",
+		unitlint.Options{JSON: true, Timings: true}, nil); code != 0 {
+		t.Fatalf("clean run exit = %d; output:\n%s", code, jsonOut.String())
+	}
+	var line struct {
+		Timings map[string]float64 `json:"timings_ms"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(jsonOut.String())), &line); err != nil {
+		t.Fatalf("timings line is not JSON: %v\n%s", err, jsonOut.String())
+	}
+	for _, name := range []string{"seededrand", "detclock"} {
+		if _, ok := line.Timings[name]; !ok {
+			t.Errorf("timings_ms missing %q: %v", name, line.Timings)
+		}
+	}
+	if len(line.Timings) != 2 {
+		t.Errorf("timings_ms = %v, want exactly the 2 selected analyzers", line.Timings)
+	}
+
+	var text strings.Builder
+	if code := unitlint.Main(&text, dir, "seededrand",
+		unitlint.Options{Timings: true}, nil); code != 0 {
+		t.Fatalf("text run exit = %d; output:\n%s", code, text.String())
+	}
+	if !strings.Contains(text.String(), "unitlint: timing: seededrand") {
+		t.Fatalf("no timing table line: %s", text.String())
 	}
 }
 

@@ -206,9 +206,17 @@ func (h *queryHeap) Pop() any {
 // checks the dynamics). cfg, start, cond, wg and stopCh are set in New
 // before the Server escapes and are immutable or internally synchronized
 // afterwards.
+//
+// Ownership: unlike Engine, no field here carries an "owned by"
+// annotation — every piece of mutable state is deliberately shared
+// between the worker pool, the control loop, and the HTTP handlers, so
+// mutual exclusion (not single-goroutine ownership) is the discipline,
+// and the owned analyzer has nothing to enforce. That split is the
+// point: the simulator proves the algorithms single-threaded, the live
+// server reuses them under one lock.
 type Server struct {
-	cfg   Config
-	start time.Time
+	cfg   Config    // immutable after New
+	start time.Time // immutable after New
 
 	mu   sync.Mutex
 	cond *sync.Cond // signals queue growth; always waited on under mu
@@ -252,9 +260,9 @@ type Server struct {
 	winLog  []outcomeStamp // guarded by mu; ring of recent finalized outcomes
 	winNext int            // guarded by mu; next ring slot once full
 
-	closed bool // guarded by mu
-	wg     sync.WaitGroup
-	stopCh chan struct{}
+	closed bool           // guarded by mu
+	wg     sync.WaitGroup // internally synchronized; Add in New, Wait in Close
+	stopCh chan struct{}  // created in New, closed exactly once in Close
 }
 
 // New creates and starts a live server (worker pool plus control loop).
