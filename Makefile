@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet unitlint unitlint-self lint-baseline chaos fuzz obs-smoke bench bench-baseline bench-smoke bench-check golden ci
+.PHONY: all build test race lint vet unitlint unitlint-self lint-baseline chaos scenarios fuzz obs-smoke bench bench-baseline bench-smoke bench-check golden ci
 
 all: build
 
@@ -51,6 +51,16 @@ lint: vet unitlint unitlint-self
 chaos:
 	$(GO) test -race -run 'TestChaos|TestPanic|TestCancellation|TestGracefulDrain|TestShed' ./...
 
+# Scenario library: named, seeded end-to-end failure stories with
+# asserted recovery properties (internal/scenario) under -race, then a
+# replay of every scenario via cmd/unitscenario, dumping each run's
+# report and trace JSONL into scenario-traces/ (the CI artifact). The
+# replay exits non-zero if any recovery property is violated.
+scenarios:
+	$(GO) test -race ./internal/scenario/
+	mkdir -p scenario-traces
+	$(GO) run ./cmd/unitscenario run -all -outdir scenario-traces > scenario-traces/reports.json
+
 # Fuzz smoke: each target briefly, catching regressions in the HTTP input
 # contract without an open-ended fuzzing session.
 FUZZTIME ?= 10s
@@ -99,4 +109,4 @@ golden:
 	$(GO) test ./internal/experiments/ -run TestGoldenQuickReplication -v
 
 # Everything CI runs, in CI's order.
-ci: build lint test race chaos obs-smoke
+ci: build lint test race chaos scenarios obs-smoke

@@ -1,0 +1,173 @@
+// Command unitscenario lists, describes and replays the scenario
+// library — named, seeded end-to-end failure stories with asserted
+// recovery properties (internal/scenario).
+//
+// Usage:
+//
+//	unitscenario list
+//	unitscenario describe <name>
+//	unitscenario run [-seed N] [-trace out.jsonl] <name>
+//	unitscenario run -all [-seed N] [-outdir dir]
+//
+// run prints each scenario's Report as JSON and exits non-zero if any
+// recovery property is violated. With -trace (single scenario) or
+// -outdir (-all), the run's query-lifecycle trace and controller
+// decision log are written as JSON Lines; deterministic scenarios dump
+// byte-identical files for the same seed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"unitdb/internal/obs/trace"
+	"unitdb/internal/scenario"
+)
+
+// traceCap sizes the trace rings generously: a full scenario emits ~6
+// span events per query plus controller decisions, so 2^20 events and
+// 2^16 decisions hold every built-in story without drops.
+const (
+	traceEventCap    = 1 << 20
+	traceDecisionCap = 1 << 16
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "describe":
+		if len(os.Args) != 3 {
+			fatalf("usage: unitscenario describe <name>")
+		}
+		describe(os.Args[2])
+	case "run":
+		run(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fatalf("unknown command %q (list, describe, run)", os.Args[1])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  unitscenario list
+  unitscenario describe <name>
+  unitscenario run [-seed N] [-trace out.jsonl] <name>
+  unitscenario run -all [-seed N] [-outdir dir]`)
+}
+
+func list() {
+	for _, name := range scenario.Names() {
+		s, _ := scenario.Get(name)
+		kind := "deterministic"
+		if !s.Deterministic {
+			kind = "live"
+		}
+		fmt.Printf("%-22s %-13s %s\n", name, kind, s.Synopsis)
+	}
+}
+
+func describe(name string) {
+	s, ok := scenario.Get(name)
+	if !ok {
+		fatalf("unknown scenario %q; `unitscenario list` shows the library", name)
+	}
+	fmt.Printf("%s — %s\n\nDeterministic: %v\n\nStory:\n  %s\n\nProperty:\n  %s\n",
+		s.Name, s.Synopsis, s.Deterministic, s.Story, s.Property)
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "master seed; one integer replays a deterministic scenario exactly")
+	tracePath := fs.String("trace", "", "write the scenario's trace (spans + decisions) to this file as JSONL")
+	all := fs.Bool("all", false, "run every registered scenario")
+	outdir := fs.String("outdir", "", "with -all: write one <scenario>.jsonl trace per run into this directory")
+	_ = fs.Parse(args)
+
+	var names []string
+	switch {
+	case *all:
+		if fs.NArg() != 0 {
+			fatalf("run -all takes no scenario argument")
+		}
+		names = scenario.Names()
+	case fs.NArg() == 1:
+		names = []string{fs.Arg(0)}
+	default:
+		fatalf("usage: unitscenario run [-seed N] [-trace out.jsonl] <name> | run -all [-outdir dir]")
+	}
+	if *tracePath != "" && *all {
+		fatalf("use -outdir with -all (-trace names a single file)")
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fatalf("outdir: %v", err)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	failed := 0
+	for _, name := range names {
+		s, ok := scenario.Get(name)
+		if !ok {
+			fatalf("unknown scenario %q; `unitscenario list` shows the library", name)
+		}
+		dump := *tracePath
+		if *outdir != "" {
+			dump = filepath.Join(*outdir, name+".jsonl")
+		}
+		var rec *trace.Recorder
+		if dump != "" {
+			rec = trace.New(traceEventCap, traceDecisionCap)
+		}
+		rep, err := s.Run(scenario.RunConfig{Seed: *seed, Trace: rec})
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if err := enc.Encode(rep); err != nil {
+			fatalf("%s: encode report: %v", name, err)
+		}
+		if rec != nil {
+			if err := writeTrace(dump, rec); err != nil {
+				fatalf("%s: %v", name, err)
+			}
+			if ev, dec := rec.Dropped(); ev > 0 || dec > 0 {
+				fmt.Fprintf(os.Stderr, "unitscenario: %s: trace ring dropped %d events, %d decisions\n", name, ev, dec)
+			}
+		}
+		if !rep.Property.Pass {
+			failed++
+			fmt.Fprintf(os.Stderr, "unitscenario: %s: recovery property VIOLATED\n", name)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "unitscenario: "+format+"\n", args...)
+	os.Exit(2)
+}

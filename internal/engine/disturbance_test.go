@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"testing"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/workload"
+)
+
+// stubQD is a hand-rolled disturbance implementing the optional
+// client-behaviour extension with fixed answers.
+type stubQD struct {
+	queryScale float64
+	after      float64
+}
+
+func (stubQD) ScaleExec(float64) float64        { return 1 }
+func (stubQD) BlockFeed(int, float64) bool      { return false }
+func (stubQD) FeedRate(int, float64) float64    { return 1 }
+func (s stubQD) ReleaseQuery(t float64) float64 { return t }
+
+func (s stubQD) ScaleQueryExec(float64) float64 { return s.queryScale }
+func (s stubQD) DisconnectAfter(float64) float64 {
+	return s.after
+}
+
+func runDisturbed(t *testing.T, w *workload.Workload, d Disturbance) *Results {
+	t.Helper()
+	cfg := NewConfig(w, usm.Weights{}, 7)
+	cfg.PhaseUpdates = false
+	cfg.Disturbance = d
+	e, err := New(cfg, admitAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSlowConsumerInflatesQueriesOnly(t *testing.T) {
+	// One query (exec 2, deadline 5) and one update feed. With a 3×
+	// query-only inflation the query needs 6 > 5 and misses its deadline,
+	// while the update keeps its nominal demand and still applies.
+	w := mkWorkload(2, 40,
+		[]workload.QuerySpec{q(10, 0, 2, 5)},
+		[]workload.UpdateSpec{{Item: 1, Period: 10, Exec: 1}},
+	)
+	r := runDisturbed(t, w, stubQD{queryScale: 3})
+	if r.Counts.DMF != 1 || r.Counts.Total() != 1 {
+		t.Fatalf("counts = %+v, want the inflated query to DMF", r.Counts)
+	}
+	if r.UpdatesApplied == 0 {
+		t.Fatal("updates stopped applying under a query-only inflation")
+	}
+	// Control: without the disturbance the same query succeeds.
+	rc := runWith(t, w, admitAll{})
+	if rc.Counts.Success != 1 {
+		t.Fatalf("control counts = %+v", rc.Counts)
+	}
+}
+
+func TestClientDisconnectAbandonsPendingQuery(t *testing.T) {
+	// Two queries: the first (exec 2) resolves at t=12, before its client
+	// disconnects at t=14; the second lands behind it with a long deadline
+	// and disconnects at t=14.5 while still queued.
+	w := mkWorkload(2, 100, []workload.QuerySpec{
+		q(10, 0, 2, 30),
+		q(10.5, 1, 50, 80),
+	}, nil)
+	r := runDisturbed(t, w, stubQD{queryScale: 1, after: 4})
+	if r.QueriesAbandoned != 1 {
+		t.Fatalf("QueriesAbandoned = %d, want 1", r.QueriesAbandoned)
+	}
+	if r.Counts.Success != 1 {
+		t.Fatalf("counts = %+v, want the fast query to succeed", r.Counts)
+	}
+	// Conservation: outcomes + abandoned == presented.
+	if got := r.Counts.Total() + r.QueriesAbandoned; got != len(w.Queries) {
+		t.Fatalf("outcomes (%d) + abandoned (%d) != presented (%d)", r.Counts.Total(), r.QueriesAbandoned, len(w.Queries))
+	}
+}
+
+func TestAbandonedRunningQueryFreesCPU(t *testing.T) {
+	// A long query (exec 50) starts running at t=0 and is abandoned at
+	// t=2; a later short query must then find the CPU free and succeed.
+	w := mkWorkload(2, 100, []workload.QuerySpec{
+		q(0, 0, 50, 90),
+		q(10, 1, 1, 5),
+	}, nil)
+	d := disconnectFirst{}
+	r := runDisturbed(t, w, d)
+	if r.QueriesAbandoned != 1 {
+		t.Fatalf("QueriesAbandoned = %d, want 1", r.QueriesAbandoned)
+	}
+	if r.Counts.Success != 1 || r.Counts.DMF != 0 {
+		t.Fatalf("counts = %+v, want the short query to succeed on a freed CPU", r.Counts)
+	}
+	// The abandoned query consumed exactly the 2s before its client left.
+	if got := r.QueryCPU * w.Duration; got < 2.9 || got > 3.1 {
+		t.Fatalf("query CPU = %v, want ~3 (2s abandoned + 1s success)", got)
+	}
+}
+
+// disconnectFirst abandons only queries presented at t=0, 2 seconds in.
+type disconnectFirst struct{ stubQD }
+
+func (disconnectFirst) ScaleQueryExec(float64) float64 { return 1 }
+func (disconnectFirst) DisconnectAfter(t float64) float64 {
+	if t == 0 {
+		return 2
+	}
+	return 0
+}

@@ -103,6 +103,23 @@ type Disturbance interface {
 	ReleaseQuery(t float64) float64
 }
 
+// QueryDisturbance is an optional Disturbance extension modelling client
+// behaviour: slow result consumers and mid-flight disconnects. The engine
+// type-asserts for it once at construction, so a Disturbance that does not
+// implement it runs bitwise-unchanged.
+type QueryDisturbance interface {
+	// ScaleQueryExec returns an extra execution-demand inflation (> 0;
+	// 1 means none) applied only to queries presented at time t — a slow
+	// consumer draining its result holds the worker serving it.
+	ScaleQueryExec(t float64) float64
+	// DisconnectAfter returns how long after presentation at time t a
+	// query keeps its client. 0 means the client waits forever; d > 0
+	// means the query is abandoned at presentation+d if still unresolved
+	// — it then never produces an outcome and never enters the USM,
+	// mirroring the live server's canceled-request path.
+	DisconnectAfter(t float64) float64
+}
+
 // Config parameterizes a run.
 type Config struct {
 	Workload *workload.Workload
@@ -171,6 +188,11 @@ type Engine struct {
 	refreshesIssued   int // owned by Run
 	updatesLost       int // owned by Run; feed deliveries blocked by a disturbance
 	queriesStalled    int // owned by Run; query arrivals delayed by a disturbance
+	queriesAbandoned  int // owned by Run; admitted queries whose client disconnected mid-flight
+
+	// qd is cfg.Disturbance's optional client-behaviour extension,
+	// type-asserted once in New (nil when absent or unimplemented).
+	qd QueryDisturbance
 
 	freshSum   float64 // owned by Run
 	latencySum float64 // owned by Run
@@ -205,6 +227,9 @@ func New(cfg Config, policy Policy) (*Engine, error) {
 	}
 	for _, u := range cfg.Workload.Updates {
 		e.feedExec[u.Item] = u.Exec
+	}
+	if qd, ok := cfg.Disturbance.(QueryDisturbance); ok {
+		e.qd = qd
 	}
 	policy.Attach(e)
 	return e, nil
@@ -379,6 +404,9 @@ func (e *Engine) presentQuery(spec workload.QuerySpec) {
 	if d := e.cfg.Disturbance; d != nil {
 		exec *= d.ScaleExec(e.sim.Now())
 	}
+	if e.qd != nil {
+		exec *= e.qd.ScaleQueryExec(e.sim.Now())
+	}
 	q := txn.NewQuery(e.nextID, e.sim.Now(), spec.Items, exec, spec.RelDeadline, spec.FreshReq)
 	q.EstExec = spec.EstExec
 	q.PrefClass = spec.PrefClass
@@ -392,6 +420,11 @@ func (e *Engine) presentQuery(spec workload.QuerySpec) {
 	e.deadlineEvents[q] = e.sim.At(q.Deadline, func() { e.queryDeadline(q) })
 	e.ready.Push(q)
 	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindQueue, Query: q.ID})
+	if e.qd != nil {
+		if after := e.qd.DisconnectAfter(e.sim.Now()); after > 0 {
+			e.sim.At(e.sim.Now()+after, func() { e.abandonQuery(q) })
+		}
+	}
 	e.dispatch()
 }
 
@@ -673,6 +706,34 @@ func (e *Engine) queryDeadline(q *txn.Txn) {
 	e.dispatch()
 }
 
+// abandonQuery fires when a query's client disconnects mid-flight
+// (QueryDisturbance.DisconnectAfter): if the query is still unresolved it
+// is withdrawn from wherever it sits — running, queued, or lock-blocked —
+// and its deadline canceled. Nobody is listening for the answer, so the
+// query produces no outcome and never enters the USM; only the abandoned
+// tally records it (the same contract as the live server's canceled path).
+func (e *Engine) abandonQuery(q *txn.Txn) {
+	if q.Outcome != txn.OutcomePending {
+		return // resolved before the client gave up
+	}
+	ev, ok := e.deadlineEvents[q]
+	if !ok {
+		return // already abandoned by an earlier disconnect window
+	}
+	e.sim.Cancel(ev)
+	delete(e.deadlineEvents, q)
+	if q == e.running {
+		e.stopRunningClock()
+	} else {
+		e.ready.Remove(q) // no-op when lock-blocked
+	}
+	res := e.locks.ReleaseAll(q)
+	e.absorbLockResult(res, q)
+	e.queriesAbandoned++
+	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindOutcome, Query: q.ID, Outcome: "abandoned"})
+	e.dispatch()
+}
+
 // finalizeQuery records a query's terminal outcome — the single point
 // where the USM conservation law (every admitted query ends in exactly
 // one of success/rejected/DMF/DSF) is enforced at run time.
@@ -718,9 +779,14 @@ type Results struct {
 
 	// UpdatesLost counts feed deliveries a disturbance blocked before they
 	// reached the system; QueriesStalled counts query arrivals a
-	// disturbance delayed. Both are zero in undisturbed runs.
-	UpdatesLost    int
-	QueriesStalled int
+	// disturbance delayed; QueriesAbandoned counts admitted queries whose
+	// client disconnected before resolution (they produce no outcome and
+	// are excluded from Counts — conservation holds as
+	// Counts.Total() + QueriesAbandoned == queries presented). All are
+	// zero in undisturbed runs.
+	UpdatesLost      int
+	QueriesStalled   int
+	QueriesAbandoned int
 
 	HPAborts    int
 	Preemptions int
@@ -770,6 +836,7 @@ func (e *Engine) results() *Results {
 		RefreshesIssued:   e.refreshesIssued,
 		UpdatesLost:       e.updatesLost,
 		QueriesStalled:    e.queriesStalled,
+		QueriesAbandoned:  e.queriesAbandoned,
 		HPAborts:          e.locks.HPAborts(),
 		Preemptions:       e.preemptions,
 		Restarts:          e.restarts,

@@ -31,6 +31,16 @@
 //     order — an upstream partition followed by a thundering herd.
 //     Deadlines anchor at presentation (the server clocks a query from
 //     when it first sees it).
+//   - SlowConsumer: execution demands of *queries* presented inside the
+//     window are multiplied by Factor — the client drains its result so
+//     slowly that the worker serving it is held hostage. Updates keep
+//     their nominal demand (the feed is a machine, not a slow reader).
+//   - ClientDisconnect: a query presented inside the window loses its
+//     client Factor seconds after presentation. If it is still unresolved
+//     at that instant it is abandoned — removed from wherever it sits and
+//     excluded from the USM, mirroring the live server's canceled path
+//     (nobody is listening for the answer, so no outcome can satisfy or
+//     disappoint them).
 package faults
 
 import (
@@ -51,6 +61,12 @@ const (
 	KindCPUSlowdown
 	// KindArrivalStall holds query arrivals until the window ends.
 	KindArrivalStall
+	// KindSlowConsumer multiplies the execution demands of queries (only)
+	// presented inside the window by Factor.
+	KindSlowConsumer
+	// KindClientDisconnect abandons queries presented inside the window
+	// Factor seconds after presentation if they are still unresolved.
+	KindClientDisconnect
 )
 
 // String names the kind.
@@ -64,6 +80,10 @@ func (k Kind) String() string {
 		return "cpu-slowdown"
 	case KindArrivalStall:
 		return "arrival-stall"
+	case KindSlowConsumer:
+		return "slow-consumer"
+	case KindClientDisconnect:
+		return "client-disconnect"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -77,8 +97,9 @@ type Fault struct {
 	// Items scopes feed faults (outage, burst) to specific data items;
 	// empty means every feed. Ignored by CPU and arrival faults.
 	Items []int
-	// Factor is the rate multiplier of a burst or the execution-time
-	// inflation of a slowdown. Ignored by outages and stalls.
+	// Factor is the rate multiplier of a burst, the execution-time
+	// inflation of a slowdown or slow consumer, or the seconds-until-
+	// disconnect of a client disconnect. Ignored by outages and stalls.
 	Factor float64
 }
 
@@ -109,6 +130,18 @@ func ArrivalStall(start, end float64) Fault {
 	return Fault{Kind: KindArrivalStall, Start: start, End: end}
 }
 
+// SlowConsumer inflates the execution demands of queries presented over
+// [start, end) by factor — slow result drains holding workers hostage.
+func SlowConsumer(start, end, factor float64) Fault {
+	return Fault{Kind: KindSlowConsumer, Start: start, End: end, Factor: factor}
+}
+
+// ClientDisconnect abandons queries presented over [start, end) once they
+// have been in the system for after seconds without resolving.
+func ClientDisconnect(start, end, after float64) Fault {
+	return Fault{Kind: KindClientDisconnect, Start: start, End: end, Factor: after}
+}
+
 // Active reports whether the fault covers time t.
 func (f Fault) Active(t float64) bool { return t >= f.Start && t < f.End }
 
@@ -126,19 +159,52 @@ func (f Fault) Covers(item int) bool {
 	return false
 }
 
-// Validate checks one fault's structural invariants.
+// Overlaps reports whether two faults can be active at the same instant on
+// at least one shared item. Windows are half-open, so back-to-back faults
+// ([a,b) followed by [b,c)) do not overlap, and a zero-length window
+// overlaps nothing. Item scoping follows Covers: an empty item set touches
+// every item, so it shares items with any scope.
+func (f Fault) Overlaps(g Fault) bool {
+	if f.End <= f.Start || g.End <= g.Start {
+		return false // zero-length windows cover no instant
+	}
+	if f.Start >= g.End || g.Start >= f.End {
+		return false
+	}
+	return f.sharesItems(g)
+}
+
+// sharesItems reports whether the two faults' item scopes intersect.
+func (f Fault) sharesItems(g Fault) bool {
+	if len(f.Items) == 0 || len(g.Items) == 0 {
+		return true
+	}
+	for _, a := range f.Items {
+		for _, b := range g.Items {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Validate checks one fault's structural invariants. A zero-length window
+// (End == Start) is legal and inert: the half-open [Start, End) covers no
+// instant, so the fault never activates — schedule generators may emit one
+// rather than special-casing a degenerate knob.
 func (f Fault) Validate() error {
-	if f.End <= f.Start || f.Start < 0 {
-		return fmt.Errorf("faults: %s window [%v, %v) is empty or negative", f.Kind, f.Start, f.End)
+	if f.End < f.Start || f.Start < 0 {
+		return fmt.Errorf("faults: %s window [%v, %v) is negative", f.Kind, f.Start, f.End)
 	}
 	switch f.Kind {
-	case KindUpdateBurst:
+	case KindUpdateBurst, KindCPUSlowdown, KindSlowConsumer:
 		if f.Factor <= 0 {
 			return fmt.Errorf("faults: %s factor %v must be positive", f.Kind, f.Factor)
 		}
-	case KindCPUSlowdown:
+	case KindClientDisconnect:
 		if f.Factor <= 0 {
-			return fmt.Errorf("faults: %s factor %v must be positive", f.Kind, f.Factor)
+			return fmt.Errorf("faults: %s disconnect delay %v must be positive", f.Kind, f.Factor)
 		}
 	case KindFeedOutage, KindArrivalStall:
 		// Factor unused.
@@ -221,16 +287,56 @@ func (s *Schedule) ActiveAt(t float64) []Fault {
 	return out
 }
 
-// Horizon returns the end of the last fault window (0 for an empty
-// schedule): after this instant the workload runs undisturbed.
+// Horizon returns the end of the last non-empty fault window (0 for an
+// empty schedule): after this instant the workload runs undisturbed.
+// Zero-length windows cover no instant, so they do not extend the horizon.
 func (s *Schedule) Horizon() float64 {
 	h := 0.0
 	for _, f := range s.faults {
-		if f.End > h {
+		if f.End > f.Start && f.End > h {
 			h = f.End
 		}
 	}
 	return h
+}
+
+// Conflicts returns every pair of same-kind faults whose windows overlap on
+// shared items, in canonical order. Such pairs compose multiplicatively
+// (bursts, slowdowns, slow consumers) or redundantly (outages, stalls),
+// which is almost always a scenario-authoring mistake rather than a story:
+// Merge rejects them, while NewSchedule stays permissive for callers who
+// compose deliberately.
+func (s *Schedule) Conflicts() [][2]Fault {
+	var out [][2]Fault
+	for i, f := range s.faults {
+		for _, g := range s.faults[i+1:] {
+			if f.Kind == g.Kind && f.Overlaps(g) {
+				out = append(out, [2]Fault{f, g})
+			}
+		}
+	}
+	return out
+}
+
+// Merge combines schedules into one validated schedule, rejecting any
+// same-kind faults whose windows overlap on shared items (see Conflicts).
+// Nil schedules are skipped, so optional story layers merge cleanly.
+func Merge(scheds ...*Schedule) (*Schedule, error) {
+	var fs []Fault
+	for _, s := range scheds {
+		if s == nil {
+			continue
+		}
+		fs = append(fs, s.faults...)
+	}
+	merged, err := NewSchedule(fs...)
+	if err != nil {
+		return nil, err
+	}
+	if cs := merged.Conflicts(); len(cs) > 0 {
+		return nil, fmt.Errorf("faults: merge conflict: %s overlaps %s (same kind, shared items)", cs[0][0], cs[0][1])
+	}
+	return merged, nil
 }
 
 // String renders the schedule.

@@ -8,18 +8,23 @@ import (
 	"unitdb/internal/faults"
 )
 
-// The injector must plug into the engine's disturbance hooks.
-var _ engine.Disturbance = (*faults.Injector)(nil)
+// The injector must plug into the engine's disturbance hooks, including
+// the optional client-behaviour extension.
+var (
+	_ engine.Disturbance      = (*faults.Injector)(nil)
+	_ engine.QueryDisturbance = (*faults.Injector)(nil)
+)
 
 func TestFaultValidation(t *testing.T) {
 	bad := []faults.Fault{
-		{Kind: faults.KindFeedOutage, Start: 10, End: 10}, // empty window
 		{Kind: faults.KindFeedOutage, Start: 20, End: 10}, // inverted
 		{Kind: faults.KindFeedOutage, Start: -1, End: 10}, // negative start
 		{Kind: faults.KindUpdateBurst, Start: 0, End: 1},  // zero factor
 		{Kind: faults.KindCPUSlowdown, Start: 0, End: 1, Factor: -2},
-		{Kind: faults.Kind(99), Start: 0, End: 1}, // unknown kind
-		faults.ItemBlackout(0, 1, 3, -4),          // negative item
+		{Kind: faults.KindSlowConsumer, Start: 0, End: 1},                // zero factor
+		{Kind: faults.KindClientDisconnect, Start: 0, End: 1, Factor: 0}, // zero delay
+		{Kind: faults.Kind(99), Start: 0, End: 1},                        // unknown kind
+		faults.ItemBlackout(0, 1, 3, -4),                                 // negative item
 	}
 	for i, f := range bad {
 		if err := f.Validate(); err == nil {
@@ -35,9 +40,121 @@ func TestFaultValidation(t *testing.T) {
 		faults.UpdateBurst(0, 1, 4),
 		faults.CPUSlowdown(2, 3, 1.5),
 		faults.ArrivalStall(0, 10),
+		faults.SlowConsumer(3, 4, 2.5),
+		faults.ClientDisconnect(4, 5, 0.5),
+		faults.FeedOutage(10, 10), // zero-length: legal and inert
 	}
 	if _, err := faults.NewSchedule(good...); err != nil {
 		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestZeroLengthWindowIsInert(t *testing.T) {
+	f := faults.FeedOutage(10, 10)
+	if f.Active(10) {
+		t.Fatal("zero-length window active at its own start")
+	}
+	s := faults.MustSchedule(f, faults.CPUSlowdown(2, 5, 2))
+	if got := s.Horizon(); got != 5 {
+		t.Fatalf("Horizon = %v, want 5 (zero-length window must not extend it)", got)
+	}
+	if got := len(s.ActiveAt(10)); got != 0 {
+		t.Fatalf("%d faults active at t=10, want 0", got)
+	}
+	in := faults.NewInjector(faults.MustSchedule(f))
+	if in.BlockFeed(0, 10) {
+		t.Fatal("zero-length outage blocked a delivery")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b faults.Fault
+		want bool
+	}{
+		{"disjoint", faults.FeedOutage(0, 10), faults.FeedOutage(20, 30), false},
+		{"back-to-back half-open", faults.FeedOutage(0, 10), faults.FeedOutage(10, 20), false},
+		{"nested", faults.FeedOutage(0, 10), faults.FeedOutage(2, 5), true},
+		{"straddle", faults.FeedOutage(0, 10), faults.FeedOutage(5, 15), true},
+		{"zero-length inside", faults.FeedOutage(0, 10), faults.FeedOutage(5, 5), false},
+		{"different kinds still overlap in time", faults.FeedOutage(0, 10), faults.UpdateBurst(5, 15, 2), true},
+		{"item-scoped disjoint items", faults.ItemBlackout(0, 10, 1, 2), faults.ItemBlackout(0, 10, 3, 4), false},
+		{"item-scoped shared item", faults.ItemBlackout(0, 10, 1, 2), faults.ItemBlackout(0, 10, 2, 3), true},
+		{"unscoped covers scoped", faults.FeedOutage(0, 10), faults.ItemBlackout(0, 10, 7), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%s: Overlaps = %v, want %v", c.name, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("%s (reversed): Overlaps = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestConflictsAndMerge(t *testing.T) {
+	outages := faults.MustSchedule(faults.ItemBlackout(0, 10, 1))
+	bursts := faults.MustSchedule(faults.UpdateBurst(5, 15, 3))
+	merged, err := faults.Merge(outages, nil, bursts)
+	if err != nil {
+		t.Fatalf("clean merge failed: %v", err)
+	}
+	if got := len(merged.Faults()); got != 2 {
+		t.Fatalf("merged %d faults, want 2", got)
+	}
+	if cs := merged.Conflicts(); len(cs) != 0 {
+		t.Fatalf("unexpected conflicts: %v", cs)
+	}
+
+	// Same kind, overlapping windows, shared items: a composition mistake.
+	clash := faults.MustSchedule(faults.ItemBlackout(5, 15, 1))
+	if _, err := faults.Merge(outages, clash); err == nil {
+		t.Fatal("merge accepted same-kind overlap on a shared item")
+	}
+	// Same kind but disjoint item scopes merge fine.
+	other := faults.MustSchedule(faults.ItemBlackout(5, 15, 2))
+	if _, err := faults.Merge(outages, other); err != nil {
+		t.Fatalf("item-disjoint same-kind merge failed: %v", err)
+	}
+	// Back-to-back same-kind windows do not conflict (half-open).
+	tail := faults.MustSchedule(faults.ItemBlackout(10, 20, 1))
+	if _, err := faults.Merge(outages, tail); err != nil {
+		t.Fatalf("back-to-back merge failed: %v", err)
+	}
+}
+
+func TestInjectorSlowConsumerAndDisconnect(t *testing.T) {
+	in := faults.NewInjector(faults.MustSchedule(
+		faults.SlowConsumer(0, 10, 2),
+		faults.SlowConsumer(5, 10, 3),
+		faults.ClientDisconnect(20, 30, 1.5),
+		faults.ClientDisconnect(25, 30, 0.5),
+	))
+	if got := in.ScaleQueryExec(1); got != 2 {
+		t.Fatalf("ScaleQueryExec(1) = %v, want 2", got)
+	}
+	if got := in.ScaleQueryExec(7); got != 6 { // overlapping windows multiply
+		t.Fatalf("ScaleQueryExec(7) = %v, want 6", got)
+	}
+	if got := in.ScaleQueryExec(15); got != 1 {
+		t.Fatalf("ScaleQueryExec(15) = %v, want 1", got)
+	}
+	if got := in.DisconnectAfter(5); got != 0 {
+		t.Fatalf("DisconnectAfter(5) = %v, want 0", got)
+	}
+	if got := in.DisconnectAfter(22); got != 1.5 {
+		t.Fatalf("DisconnectAfter(22) = %v, want 1.5", got)
+	}
+	if got := in.DisconnectAfter(26); got != 0.5 { // most impatient client wins
+		t.Fatalf("DisconnectAfter(26) = %v, want 0.5", got)
+	}
+	c := in.Counts()
+	if c.QueryInflations != 2 {
+		t.Fatalf("QueryInflations = %d, want 2", c.QueryInflations)
+	}
+	if c.Disconnects != 2 {
+		t.Fatalf("Disconnects = %d, want 2", c.Disconnects)
 	}
 }
 
@@ -144,7 +261,8 @@ func TestInjectorStallChains(t *testing.T) {
 
 func TestNilScheduleInjectsNothing(t *testing.T) {
 	in := faults.NewInjector(nil)
-	if in.BlockFeed(0, 1) || in.ScaleExec(1) != 1 || in.FeedRate(0, 1) != 1 || in.ReleaseQuery(1) != 1 {
+	if in.BlockFeed(0, 1) || in.ScaleExec(1) != 1 || in.FeedRate(0, 1) != 1 || in.ReleaseQuery(1) != 1 ||
+		in.ScaleQueryExec(1) != 1 || in.DisconnectAfter(1) != 0 {
 		t.Fatal("nil-schedule injector disturbed something")
 	}
 	if c := in.Counts(); c != (faults.Counts{}) {

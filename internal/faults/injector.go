@@ -13,6 +13,14 @@ type Counts struct {
 	// ExecInflations is the number of transactions whose execution demand
 	// a CPU slowdown inflated.
 	ExecInflations int
+	// QueryInflations is the number of queries whose execution demand a
+	// slow consumer inflated.
+	QueryInflations int
+	// Disconnects is the number of queries presented inside a
+	// client-disconnect window (every one is armed to abandon; those that
+	// resolve before the delay elapses are never actually abandoned, so
+	// the engine's QueriesAbandoned counter is at most this tally).
+	Disconnects int
 }
 
 // Injector replays a fault schedule against a run. It implements the
@@ -63,6 +71,44 @@ func (in *Injector) ScaleExec(t float64) float64 {
 		in.mu.Unlock()
 	}
 	return scale
+}
+
+// ScaleQueryExec implements engine.QueryDisturbance: the product of every
+// active slow-consumer's factor at time t (1 when none is active). Applies
+// on top of ScaleExec, and only to queries.
+func (in *Injector) ScaleQueryExec(t float64) float64 {
+	scale := 1.0
+	for _, f := range in.sched.faults {
+		if f.Kind == KindSlowConsumer && f.Active(t) {
+			scale *= f.Factor
+		}
+	}
+	if scale != 1 {
+		in.mu.Lock()
+		in.counts.QueryInflations++
+		in.mu.Unlock()
+	}
+	return scale
+}
+
+// DisconnectAfter implements engine.QueryDisturbance: how long after its
+// presentation at time t a query keeps its client (0 = the client stays).
+// When several disconnect windows cover t the most impatient client wins.
+func (in *Injector) DisconnectAfter(t float64) float64 {
+	after := 0.0
+	for _, f := range in.sched.faults {
+		if f.Kind == KindClientDisconnect && f.Active(t) {
+			if after == 0 || f.Factor < after {
+				after = f.Factor
+			}
+		}
+	}
+	if after > 0 {
+		in.mu.Lock()
+		in.counts.Disconnects++
+		in.mu.Unlock()
+	}
+	return after
 }
 
 // BlockFeed implements engine.Disturbance: whether item's delivery at time

@@ -41,6 +41,7 @@ var CorePrefixes = []string{
 	"unitdb/internal/lottery",
 	"unitdb/internal/obs",
 	"unitdb/internal/readyq",
+	"unitdb/internal/scenario",
 	"unitdb/internal/stats",
 	"unitdb/internal/txn",
 	"unitdb/internal/workload",

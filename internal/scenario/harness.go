@@ -1,0 +1,275 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"unitdb/internal/core"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/experiments/runner"
+	"unitdb/internal/faults"
+	"unitdb/internal/txn"
+	"unitdb/internal/workload"
+)
+
+// The windowed-USM harness mirrors the chaos suite
+// (internal/faults/recovery_test.go) so scenario properties and chaos
+// regressions speak the same language: 100-second measurement windows,
+// the first five excluded as controller warmup, thin windows ignored,
+// and recovery demanded within four windows of the disturbance ending.
+const (
+	windowWidth      = 100.0
+	warmupWindows    = 5
+	minWindowSamples = 50
+	recoveryWindows  = 4
+	recoveryTol      = 0.05
+)
+
+// scenarioWeights are the USM penalties every simulator scenario runs
+// under — the chaos suite's mixed-pressure point, where rejection,
+// deadline and staleness penalties all pull on the controller.
+var scenarioWeights = usm.Weights{Cr: 0.25, Cfm: 0.75, Cfs: 0.25}
+
+// observer wraps the UNIT policy, bucketing every finalized query into
+// fixed virtual-time windows and sampling the ready-queue depth on each
+// control tick.
+type observer struct {
+	engine.Policy
+	e        *engine.Engine
+	windows  []usm.Counts
+	maxQueue int
+	buf      []*txn.Txn
+}
+
+func (p *observer) Attach(e *engine.Engine) {
+	p.e = e
+	p.Policy.Attach(e)
+}
+
+func (p *observer) OnQueryDone(q *txn.Txn) {
+	idx := int(p.e.Now() / windowWidth)
+	for len(p.windows) <= idx {
+		p.windows = append(p.windows, usm.Counts{})
+	}
+	p.windows[idx].Record(q.Outcome)
+	p.Policy.OnQueryDone(q)
+}
+
+func (p *observer) OnControlTick() {
+	p.buf = p.e.AppendQueuedQueries(p.buf[:0])
+	if n := len(p.buf); n > p.maxQueue {
+		p.maxQueue = n
+	}
+	p.Policy.OnControlTick()
+}
+
+// engineRun bundles everything a simulator scenario's property can
+// reason about.
+type engineRun struct {
+	res      *engine.Results
+	injected faults.Counts
+	windows  []usm.Counts
+	maxQueue int
+}
+
+// runEngine replays one simulator scenario cell: the given workload
+// under the UNIT policy with the given fault schedule, every random
+// stream sub-seeded from cfg.Seed via the scenario's name.
+func runEngine(name string, cfg RunConfig, w *workload.Workload, sched *faults.Schedule) (*engineRun, error) {
+	pcfg := core.DefaultConfig(scenarioWeights)
+	pcfg.Seed = runner.DeriveSeed(cfg.Seed, "scenario", name, "policy")
+	pol := &observer{Policy: core.New(pcfg)}
+	inj := faults.NewInjector(sched)
+	ecfg := engine.NewConfig(w, scenarioWeights, runner.DeriveSeed(cfg.Seed, "scenario", name, "engine"))
+	ecfg.Disturbance = inj
+	ecfg.Trace = cfg.Trace
+	e, err := engine.New(ecfg, pol)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	return &engineRun{res: res, injected: inj.Counts(), windows: pol.windows, maxQueue: pol.maxQueue}, nil
+}
+
+// scenarioTrace builds the standard scenario workload: the chaos
+// suite's density (64 items, 6000 queries over 3000 s, ~200 outcomes
+// per window) with the given arrival/read shape, overlaid with a
+// medium-volume update stream. The update stream derives its own seed
+// so reshaping queries never silently reshuffles the feeds.
+func scenarioTrace(seed uint64, shape workload.Shape, dist workload.Distribution) (*workload.Workload, error) {
+	qc := workload.SmallQueryConfig()
+	qc.NumItems = 64
+	qc.NumQueries = 6000
+	qc.Duration = 3000
+	qc.BurstFraction = 0
+	qc.NumBursts = 0
+	qc.BurstWidth = 0
+	q, err := workload.GenerateShaped(qc, shape, seed)
+	if err != nil {
+		return nil, err
+	}
+	return workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, dist), runner.DeriveSeed(seed, "updates"))
+}
+
+// summarize converts an engine run into the Report pieces.
+func (r *engineRun) summarize() (Summary, []Window) {
+	return Summary{
+		Policy:           r.res.Policy,
+		USM:              r.res.USM,
+		Counts:           r.res.Counts,
+		QueriesPresented: r.res.Counts.Total() + r.res.QueriesAbandoned,
+		UpdatesApplied:   r.res.UpdatesApplied,
+		UpdatesDropped:   r.res.UpdatesDropped,
+		UpdatesLost:      r.res.UpdatesLost,
+		QueriesStalled:   r.res.QueriesStalled,
+		QueriesAbandoned: r.res.QueriesAbandoned,
+		MaxQueueDepth:    r.maxQueue,
+		Events:           r.res.Events,
+		Injection:        r.injected,
+	}, windowSeries(r.windows)
+}
+
+// windowSeries renders the raw per-window tallies.
+func windowSeries(ws []usm.Counts) []Window {
+	out := make([]Window, len(ws))
+	for i, c := range ws {
+		out[i] = Window{
+			Index:  i,
+			Start:  float64(i) * windowWidth,
+			End:    float64(i+1) * windowWidth,
+			Counts: c,
+			USM:    c.USM(scenarioWeights),
+		}
+	}
+	return out
+}
+
+// dumpWindows renders the window series for check detail lines.
+func dumpWindows(ws []usm.Counts) string {
+	var b strings.Builder
+	for i, c := range ws {
+		fmt.Fprintf(&b, " w%02d n=%d usm=%+.3f", i, c.Total(), c.USM(scenarioWeights))
+	}
+	return b.String()
+}
+
+// baselineUSM summarizes the settled pre-fault windows (after warmup,
+// before faultStart, thin windows skipped): their mean USM and the
+// worst single window. The mean anchors the dip clause; the worst
+// window anchors recovery, because a single healthy window routinely
+// sits a few tenths below the mean and "recovered" must mean "back
+// inside the pre-fault operating band", not "above its average".
+func baselineUSM(ws []usm.Counts, faultStart float64) (mean, low float64, ok bool) {
+	end := int(faultStart / windowWidth)
+	sum, n := 0.0, 0
+	for i := warmupWindows; i < end && i < len(ws); i++ {
+		if ws[i].Total() < minWindowSamples {
+			continue
+		}
+		u := ws[i].USM(scenarioWeights)
+		if n == 0 || u < low {
+			low = u
+		}
+		sum += u
+		n++
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	return sum / float64(n), low, true
+}
+
+// recoveryChecks evaluates the dip-and-recovery contract the chaos
+// suite pins (DESIGN.md §9): the windowed USM must fall at least minDip
+// below the pre-fault mean in some window overlapping
+// [faultStart, faultEnd+windowWidth) — pass minDip <= 0 to skip the dip
+// clause for disturbances that need not bite — and must climb back to
+// within recoveryTol·Range of the worst pre-fault window (the lower
+// edge of the normal operating band) within recoveryWindows windows of
+// the fault ending.
+func recoveryChecks(ws []usm.Counts, faultStart, faultEnd, minDip float64) []Check {
+	base, baseLow, ok := baselineUSM(ws, faultStart)
+	if !ok {
+		return []Check{checkf("baseline", false, "no settled pre-fault window before t=%g:%s", faultStart, dumpWindows(ws))}
+	}
+	checks := []Check{checkf("baseline", true, "pre-fault windowed USM mean %.3f, low %.3f", base, baseLow)}
+
+	dipLo, dipHi := int(faultStart/windowWidth), int(faultEnd/windowWidth)+1
+	worst, worstOK := 0.0, false
+	for i := dipLo; i <= dipHi && i < len(ws); i++ {
+		if ws[i].Total() < minWindowSamples {
+			continue
+		}
+		if u := ws[i].USM(scenarioWeights); !worstOK || u < worst {
+			worst, worstOK = u, true
+		}
+	}
+	if minDip > 0 {
+		switch {
+		case !worstOK:
+			checks = append(checks, checkf("dip", false, "no populated window during fault [%g,%g)", faultStart, faultEnd))
+		default:
+			checks = append(checks, checkf("dip", worst <= base-minDip,
+				"worst in-fault window USM %.3f vs baseline %.3f (want dip >= %.3f)", worst, base, minDip))
+		}
+	}
+
+	tol := recoveryTol * scenarioWeights.Range()
+	bar := baseLow - tol
+	for k := 0; k < recoveryWindows; k++ {
+		i := dipHi + k
+		if i >= len(ws) {
+			break
+		}
+		if ws[i].Total() < minWindowSamples {
+			continue
+		}
+		if u := ws[i].USM(scenarioWeights); u >= bar {
+			return append(checks, checkf("recovery", true,
+				"windowed USM back to %.3f (baseline low %.3f - tol %.3f) %d windows after fault end", u, baseLow, tol, k))
+		}
+	}
+	return append(checks, checkf("recovery", false,
+		"windowed USM still below %.3f-%.3f %d windows after fault end %g:%s",
+		baseLow, tol, recoveryWindows, faultEnd, dumpWindows(ws)))
+}
+
+// floorCheck asserts no settled window ever fell below floor — the
+// story's damage stays bounded even at its worst.
+func floorCheck(ws []usm.Counts, floor float64) Check {
+	worst, at, any := 0.0, -1, false
+	for i := warmupWindows; i < len(ws); i++ {
+		if ws[i].Total() < minWindowSamples {
+			continue
+		}
+		if u := ws[i].USM(scenarioWeights); !any || u < worst {
+			worst, at, any = u, i, true
+		}
+	}
+	if !any {
+		return checkf("floor", false, "no settled windows")
+	}
+	return checkf("floor", worst >= floor, "worst settled window w%d USM %.3f, floor %.3f", at, worst, floor)
+}
+
+// conservationCheck asserts every presented query is accounted for
+// exactly once: finalized outcomes plus abandoned clients must equal
+// the workload's query count.
+func conservationCheck(r *engineRun, presented int) Check {
+	got := r.res.Counts.Total() + r.res.QueriesAbandoned
+	return checkf("conservation", got == presented,
+		"outcomes %d + abandoned %d = %d, presented %d",
+		r.res.Counts.Total(), r.res.QueriesAbandoned, got, presented)
+}
+
+// queueBoundCheck asserts the ready queue (sampled at every control
+// tick) never exceeded bound — backpressure held instead of the backlog
+// growing without limit.
+func queueBoundCheck(r *engineRun, bound int) Check {
+	return checkf("queue-bound", r.maxQueue <= bound,
+		"max sampled queue depth %d, bound %d", r.maxQueue, bound)
+}

@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"unitdb/internal/core/usm"
+	"unitdb/internal/experiments/runner"
+	"unitdb/internal/server"
+)
+
+// The thundering-herd scenario runs against a real unitd: a live HTTP
+// server with a tiny worker pool and queue, hammered by retrying
+// clients whose backoff interacts with the server's 429/Retry-After
+// pushback. Wall-clock scheduling makes it non-deterministic, so its
+// property holds with margins rather than bit-exact replay.
+const (
+	herdClients     = 10                     // concurrent retrying clients
+	herdQueriesEach = 6                      // logical queries per client
+	herdRetries     = 4                      // retry budget per query
+	herdBackoffBase = 2 * time.Millisecond   // first backoff ceiling
+	herdBackoffCap  = 40 * time.Millisecond  // WithRetryCap ceiling (overrides server hints)
+	herdWork        = 25 * time.Millisecond  // declared work per storm query
+	herdDeadline    = 60 * time.Millisecond  // storm query deadline
+	calmQueries     = 40                     // post-storm probe queries
+	calmWork        = 2 * time.Millisecond   // probe work
+	calmDeadline    = 500 * time.Millisecond // probe deadline (generous slack)
+	calmSuccessMin  = 0.75                   // post-storm success-ratio floor
+)
+
+func init() {
+	Register(Scenario{
+		Name:     "thundering-herd",
+		Synopsis: "a retry storm against a live unitd with a 2-worker pool and a 4-deep queue",
+		Story: fmt.Sprintf("%d clients, each retrying up to %d times with seeded "+
+			"jittered backoff capped at %v, simultaneously push %d queries each "+
+			"(%v of work against a %v deadline) at a live server with 2 workers "+
+			"and a 4-deep queue. The server sheds and rejects with 429/Retry-After; "+
+			"the clients' backoff turns the pushback into a thundering herd. Once "+
+			"the storm passes, a patient client probes the server with %d light "+
+			"queries.",
+			herdClients, herdRetries, herdBackoffCap, herdQueriesEach, herdWork,
+			herdDeadline, calmQueries),
+		Property: fmt.Sprintf("The server pushes back during the storm (rejections "+
+			"or sheds observed) and the clients' retry amplification stays within "+
+			"its configured budget — attempts = logical + retries, retries <= "+
+			"%d per logical query, every giveup accounted. After the storm the "+
+			"server recovers: at least %.0f%% of the calm probes succeed.",
+			herdRetries, calmSuccessMin*100),
+		Deterministic: false,
+		Run:           runThunderingHerd,
+	})
+}
+
+func runThunderingHerd(cfg RunConfig) (*Report, error) {
+	srv, err := server.New(server.Config{
+		NumItems:           64,
+		Weights:            scenarioWeights,
+		Workers:            2,
+		ControlPeriod:      20 * time.Millisecond,
+		GracePeriod:        100 * time.Millisecond,
+		MinDecisionSamples: 10,
+		MaxQueue:           4,
+		DefaultFreshness:   0.9,
+		Seed:               runner.DeriveSeed(cfg.Seed, "scenario", "thundering-herd", "server"),
+		Trace:              cfg.Trace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("thundering-herd: boot server: %w", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer srv.Close()
+	defer ts.Close()
+
+	before := srv.Stats()
+
+	// Storm: every client fires its logical queries back to back; the
+	// retry policy inside the client supplies the herd behaviour.
+	clients := make([]*server.Client, herdClients)
+	var wg sync.WaitGroup
+	for i := range clients {
+		clients[i] = server.NewClient(ts.URL, nil,
+			server.WithRetry(herdRetries, herdBackoffBase,
+				runner.DeriveSeed(cfg.Seed, "scenario", "thundering-herd", "client", fmt.Sprint(i))),
+			server.WithRetryCap(herdBackoffCap))
+		wg.Add(1)
+		go func(i int, c *server.Client) {
+			defer wg.Done()
+			for q := 0; q < herdQueriesEach; q++ {
+				_, _ = c.Query(server.QueryRequest{
+					Items:    []int{(i*herdQueriesEach + q) % 64},
+					Work:     herdWork,
+					Deadline: herdDeadline,
+				})
+			}
+		}(i, clients[i])
+	}
+	wg.Wait()
+	afterStorm := srv.Stats()
+
+	var retry server.RetryCounts
+	for _, c := range clients {
+		rc := c.RetryCounts()
+		retry.Attempts += rc.Attempts
+		retry.Retries += rc.Retries
+		retry.Giveups += rc.Giveups
+	}
+
+	// Calm: a patient, non-retrying client probes the recovered server.
+	probe := server.NewClient(ts.URL, nil)
+	succeeded := 0
+	for q := 0; q < calmQueries; q++ {
+		resp, err := probe.Query(server.QueryRequest{
+			Items:    []int{q % 64},
+			Work:     calmWork,
+			Deadline: calmDeadline,
+		})
+		if err == nil && resp.Outcome == server.OutcomeSuccess {
+			succeeded++
+		}
+	}
+	afterCalm := srv.Stats()
+
+	const logical = herdClients * herdQueriesEach
+	amp := float64(retry.Attempts) / float64(logical)
+	stormCounts := subCounts(afterStorm.Counts, before.Counts)
+	totalCounts := subCounts(afterCalm.Counts, before.Counts)
+	pushback := stormCounts.Rejected + (afterStorm.QueriesShed - before.QueriesShed)
+	calmRatio := float64(succeeded) / float64(calmQueries)
+
+	checks := []Check{
+		checkf("storm-pushback", pushback > 0,
+			"storm rejections %d + sheds %d", stormCounts.Rejected, afterStorm.QueriesShed-before.QueriesShed),
+		checkf("retries-exercised", retry.Retries > 0,
+			"retries across %d clients: %d", herdClients, retry.Retries),
+		checkf("attempt-accounting", retry.Attempts == int64(logical)+retry.Retries,
+			"attempts %d = logical %d + retries %d", retry.Attempts, logical, retry.Retries),
+		checkf("bounded-amplification", retry.Retries <= int64(logical*herdRetries) && retry.Giveups <= int64(logical),
+			"amplification %.2fx (budget %dx), giveups %d of %d logical", amp, 1+herdRetries, retry.Giveups, logical),
+		checkf("post-storm-recovery", calmRatio >= calmSuccessMin,
+			"calm probes succeeded %d/%d (%.0f%%, floor %.0f%%)", succeeded, calmQueries, calmRatio*100, calmSuccessMin*100),
+	}
+
+	return &Report{
+		Scenario:      "thundering-herd",
+		Seed:          cfg.Seed,
+		Deterministic: false,
+		Summary: Summary{
+			USM:           totalCounts.USM(scenarioWeights),
+			Counts:        totalCounts,
+			QueriesShed:   afterCalm.QueriesShed - before.QueriesShed,
+			Attempts:      retry.Attempts,
+			Retries:       retry.Retries,
+			Giveups:       retry.Giveups,
+			Amplification: amp,
+		},
+		Property: evaluate(checks),
+	}, nil
+}
+
+// subCounts returns b - a, field by field.
+func subCounts(b, a usm.Counts) usm.Counts {
+	return usm.Counts{
+		Success:  b.Success - a.Success,
+		Rejected: b.Rejected - a.Rejected,
+		DMF:      b.DMF - a.DMF,
+		DSF:      b.DSF - a.DSF,
+	}
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"unitdb/internal/obs/trace"
+)
+
+// TestThunderingHerd drives the live retry-storm scenario end to end:
+// a real HTTP server, retrying clients, and the asserted storm and
+// recovery property. The run is wall-clock scheduled and therefore not
+// bitwise-reproducible; the property holds with margins.
+func TestThunderingHerd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live scenario: skipped under -short")
+	}
+	s, ok := Get("thundering-herd")
+	if !ok {
+		t.Fatal("thundering-herd not registered")
+	}
+	if s.Deterministic {
+		t.Fatal("thundering-herd must not claim determinism")
+	}
+	rec := trace.New(1<<16, 1<<12)
+	rep, err := s.Run(RunConfig{Seed: scenarioSeed, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Property.Checks {
+		if c.Pass {
+			t.Logf("ok   %-22s %s", c.Name, c.Detail)
+		} else {
+			t.Errorf("FAIL %-22s %s", c.Name, c.Detail)
+		}
+	}
+	if !rep.Property.Pass {
+		t.Errorf("property violated (summary %+v)", rep.Summary)
+	}
+	if rep.Summary.Attempts <= int64(herdClients*herdQueriesEach) {
+		t.Errorf("storm produced no retries: attempts %d", rep.Summary.Attempts)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("live run recorded no trace events")
+	}
+}

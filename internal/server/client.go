@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"unitdb/internal/stats"
@@ -23,9 +24,34 @@ import (
 // after an ambiguous network failure could apply the same feed delivery
 // twice.
 type Client struct {
-	base  string
-	http  *http.Client
-	retry *retryPolicy // nil = no retries
+	base     string
+	http     *http.Client
+	retry    *retryPolicy  // nil = no retries
+	retryCap time.Duration // WithRetryCap ceiling; 0 = the 30 s default
+
+	// Retry accounting for Query calls (lock-free; Update is excluded).
+	attempts atomic.Int64 // HTTP attempts, first tries included
+	retries  atomic.Int64 // attempts beyond the first per Query call
+	giveups  atomic.Int64 // Query calls that exhausted every retry still failing
+}
+
+// RetryCounts is a snapshot of a client's Query retry accounting: the
+// amplification a retry policy inflicted on the server is
+// Attempts / (Attempts - Retries), and Giveups counts the users who
+// walked away unanswered.
+type RetryCounts struct {
+	Attempts int64
+	Retries  int64
+	Giveups  int64
+}
+
+// RetryCounts returns a snapshot of the client's retry accounting.
+func (c *Client) RetryCounts() RetryCounts {
+	return RetryCounts{
+		Attempts: c.attempts.Load(),
+		Retries:  c.retries.Load(),
+		Giveups:  c.giveups.Load(),
+	}
 }
 
 // retryPolicy is seeded exponential backoff with full jitter.
@@ -62,10 +88,11 @@ type ClientOption func(*Client)
 
 // WithRetry makes Query retry up to maxRetries times on network errors
 // and 429 rejections, sleeping a seeded exponentially-growing jittered
-// backoff (starting at baseDelay, capped at 30 s) between attempts; a
-// Retry-After hint from the server takes precedence over the drawn
-// delay. The seed makes a client's backoff sequence reproducible.
-// Update is never retried regardless of this option.
+// backoff (starting at baseDelay, capped at 30 s unless WithRetryCap
+// lowers it) between attempts; a Retry-After hint from the server takes
+// precedence over the drawn delay but never exceeds the same cap. The
+// seed makes a client's backoff sequence reproducible. Update is never
+// retried regardless of this option.
 func WithRetry(maxRetries int, baseDelay time.Duration, seed uint64) ClientOption {
 	return func(c *Client) {
 		if maxRetries <= 0 {
@@ -85,6 +112,17 @@ func WithRetry(maxRetries int, baseDelay time.Duration, seed uint64) ClientOptio
 	}
 }
 
+// WithRetryCap caps both the honored Retry-After hint and the drawn
+// backoff at ceiling, overriding the 30 s default — a misbehaving (or
+// merely conservative) server hint can then never stall a retry loop for
+// longer than the client is willing to wait. Order-independent with
+// WithRetry.
+func WithRetryCap(ceiling time.Duration) ClientOption {
+	return func(c *Client) {
+		c.retryCap = ceiling
+	}
+}
+
 // NewClient creates a client for the server at base (e.g.
 // "http://localhost:8080"). httpClient may be nil for a default with a
 // 30 s timeout.
@@ -95,6 +133,9 @@ func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Clie
 	c := &Client{base: strings.TrimRight(base, "/"), http: httpClient}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.retry != nil && c.retryCap > 0 {
+		c.retry.cap = c.retryCap
 	}
 	return c
 }
@@ -114,9 +155,19 @@ func (c *Client) Query(req QueryRequest) (QueryResponse, error) {
 	)
 	for attempt := 0; attempt < attempts; attempt++ {
 		var hint time.Duration
+		c.attempts.Add(1)
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
 		out, hint, lastErr = c.queryOnce(req)
 		retryable := lastErr != nil || out.Outcome == OutcomeRejected
-		if !retryable || attempt == attempts-1 {
+		if !retryable {
+			break
+		}
+		if attempt == attempts-1 {
+			if c.retry != nil {
+				c.giveups.Add(1)
+			}
 			break
 		}
 		c.retry.sleep(c.retry.delay(attempt, hint))

@@ -49,11 +49,17 @@ type serverObs struct {
 // signals.
 var lbcActionLabels = []string{"loosen_ac", "tighten_ac", "degrade_update", "upgrade_update"}
 
-func newServerObs(traceCap int) *serverObs {
+// newServerObs builds the observability surface. rec is the span-event
+// recorder to use — Config.Trace when a harness injects its own, nil for
+// a fresh internal ring of traceCap events.
+func newServerObs(traceCap int, rec *trace.Recorder) *serverObs {
 	reg := metrics.NewRegistry()
+	if rec == nil {
+		rec = trace.New(traceCap, 0)
+	}
 	o := &serverObs{
 		reg:      reg,
-		rec:      trace.New(traceCap, 0),
+		rec:      rec,
 		outcomes: make(map[Outcome]*metrics.Counter),
 		updates:  make(map[bool]*metrics.Counter),
 		actions:  make(map[string]*metrics.Counter),

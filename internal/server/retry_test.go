@@ -181,6 +181,76 @@ func TestClientRetryHintCapped(t *testing.T) {
 	}
 }
 
+// TestClientRetryCapOption: WithRetryCap lowers both the honored hint and
+// the drawn backoff ceiling, regardless of option order.
+func TestClientRetryCapOption(t *testing.T) {
+	for _, opts := range [][]ClientOption{
+		{WithRetry(3, 40*time.Millisecond, 1), WithRetryCap(50 * time.Millisecond)},
+		{WithRetryCap(50 * time.Millisecond), WithRetry(3, 40*time.Millisecond, 1)},
+	} {
+		c := NewClient("http://unused", nil, opts...)
+		if d := c.retry.delay(0, time.Hour); d != 50*time.Millisecond {
+			t.Fatalf("delay with 1h hint = %v, want the 50ms cap", d)
+		}
+		// Attempt 3's nominal ceiling 40ms<<3 = 320ms must clamp to the cap.
+		for i := 0; i < 20; i++ {
+			if d := c.retry.delay(3, 0); d >= 50*time.Millisecond {
+				t.Fatalf("drawn backoff %v at or above the 50ms cap", d)
+			}
+		}
+	}
+	// Without WithRetry the cap option is inert.
+	c := NewClient("http://unused", nil, WithRetryCap(time.Millisecond))
+	if c.retry != nil {
+		t.Fatal("cap option alone created a retry policy")
+	}
+}
+
+// TestClientRetryCounts: the per-client tallies expose attempts, retries
+// and giveups so a retry storm's amplification factor is assertable.
+func TestClientRetryCounts(t *testing.T) {
+	var mu sync.Mutex
+	rejections := 2
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		reject := rejections > 0
+		if reject {
+			rejections--
+		}
+		mu.Unlock()
+		if reject {
+			writeJSON(w, http.StatusTooManyRequests, QueryResponse{Outcome: OutcomeRejected})
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{Outcome: OutcomeSuccess, Freshness: 1})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil, WithRetry(5, time.Millisecond, 4))
+	recordSleeps(c)
+	if _, err := c.Query(QueryRequest{Items: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.RetryCounts()
+	want := RetryCounts{Attempts: 3, Retries: 2, Giveups: 0}
+	if got != want {
+		t.Fatalf("counts = %+v, want %+v", got, want)
+	}
+
+	// Exhaust every retry: one more logical query, max+1 attempts, 1 giveup.
+	mu.Lock()
+	rejections = 1 << 30
+	mu.Unlock()
+	if _, err := c.Query(QueryRequest{Items: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	got = c.RetryCounts()
+	want = RetryCounts{Attempts: 3 + 6, Retries: 2 + 5, Giveups: 1}
+	if got != want {
+		t.Fatalf("counts after exhaustion = %+v, want %+v", got, want)
+	}
+}
+
 // TestClientDecodesRetryAfterHeader: queryOnce surfaces the server hint.
 func TestClientDecodesRetryAfterHeader(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -67,6 +67,11 @@ type Config struct {
 	// TraceCap bounds the /debug/trace span-event ring buffer (default
 	// 4096; the controller decision log keeps its own default).
 	TraceCap int
+	// Trace, when non-nil, replaces the internal span-event recorder so a
+	// harness can capture the query lifecycle into its own ring (and dump
+	// it as an artifact); TraceCap is then ignored. The recorder is
+	// write-only from the server's point of view.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns a small live-server configuration.
@@ -325,7 +330,7 @@ func New(cfg Config) (*Server, error) {
 		lastApplied:  make([]time.Time, cfg.NumItems),
 		lastArrival:  make([]time.Time, cfg.NumItems),
 		interArrival: make([]stats.EWMA, cfg.NumItems),
-		obs:          newServerObs(cfg.TraceCap),
+		obs:          newServerObs(cfg.TraceCap, cfg.Trace),
 		signals:      make(map[string]int),
 		stopCh:       make(chan struct{}),
 	}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"unitdb/internal/stats"
+)
+
+// Shape composes dynamic-workload stories on top of a QueryConfig: the
+// base config fixes the population statistics (skew, execution times,
+// deadlines), the shape moves them over time. Every field is optional and
+// the active ones compose — a flash crowd can ride a diurnal cycle whose
+// hot set drifts. Generation stays a pure function of (config, shape,
+// seed), so a scenario replays bitwise-identically.
+//
+// Shapes replace the base config's randomly-placed flash crowds: a shaped
+// trace needs its disturbances at known instants so a recovery property
+// can anchor on them, hence GenerateShaped rejects configs with
+// BurstFraction > 0 (use Crowd instead).
+type Shape struct {
+	Drift   *Drift
+	Crowd   *Crowd
+	Diurnal *Diurnal
+	Hotspot *Hotspot
+}
+
+// Drift rotates the Zipf popularity ranking over time: every Period
+// seconds the whole ranking shifts by Step items (mod NumItems), so the
+// hot set wanders across the keyspace while the skew itself — and hence
+// aggregate load — stays fixed. This is the "interest drift" of a news
+// cycle: yesterday's hot stories cool, adjacent ones heat up.
+type Drift struct {
+	Period float64 // seconds between shifts (> 0)
+	Step   int     // items the ranking shifts per period (>= 1)
+}
+
+// Crowd concentrates Fraction of all query arrivals uniformly inside the
+// window [Start, Start+Width) — a flash crowd at a known instant, the
+// deterministic counterpart of QueryConfig's randomly-placed bursts.
+type Crowd struct {
+	Start    float64
+	Width    float64 // > 0
+	Fraction float64 // in (0, 1)
+}
+
+// Diurnal modulates the background arrival rate sinusoidally with the
+// given period; PeakTrough is the ratio of the peak rate to the trough
+// rate (1 = flat). Arrivals are drawn by thinning, so the total query
+// count is exact and only their placement moves.
+type Diurnal struct {
+	Period     float64 // seconds per cycle (> 0)
+	PeakTrough float64 // peak/trough rate ratio (>= 1)
+}
+
+// Hotspot redirects Fraction of the queries to read exactly one item —
+// a single-item celebrity (one ticker symbol on earnings day). The
+// redirect applies after any drift, so the celebrity stays fixed while
+// the rest of the interest wanders.
+type Hotspot struct {
+	Item     int
+	Fraction float64 // in (0, 1)
+}
+
+// Validate checks the shape against the base config.
+func (s Shape) Validate(cfg QueryConfig) error {
+	if cfg.BurstFraction > 0 {
+		return fmt.Errorf("workload: shaped traces place their own crowds; set BurstFraction to 0 and use Shape.Crowd")
+	}
+	if d := s.Drift; d != nil {
+		if d.Period <= 0 {
+			return fmt.Errorf("workload: drift period %v must be positive", d.Period)
+		}
+		if d.Step < 1 {
+			return fmt.Errorf("workload: drift step %d must be >= 1", d.Step)
+		}
+	}
+	if c := s.Crowd; c != nil {
+		if c.Width <= 0 {
+			return fmt.Errorf("workload: crowd width %v must be positive", c.Width)
+		}
+		if c.Start < 0 || c.Start+c.Width > cfg.Duration {
+			return fmt.Errorf("workload: crowd window [%v, %v) outside the trace", c.Start, c.Start+c.Width)
+		}
+		if c.Fraction <= 0 || c.Fraction >= 1 {
+			return fmt.Errorf("workload: crowd fraction %v out of (0,1)", c.Fraction)
+		}
+	}
+	if d := s.Diurnal; d != nil {
+		if d.Period <= 0 {
+			return fmt.Errorf("workload: diurnal period %v must be positive", d.Period)
+		}
+		if d.PeakTrough < 1 {
+			return fmt.Errorf("workload: diurnal peak/trough ratio %v must be >= 1", d.PeakTrough)
+		}
+	}
+	if h := s.Hotspot; h != nil {
+		if h.Item < 0 || h.Item >= cfg.NumItems {
+			return fmt.Errorf("workload: hotspot item %d out of range", h.Item)
+		}
+		if h.Fraction <= 0 || h.Fraction >= 1 {
+			return fmt.Errorf("workload: hotspot fraction %v out of (0,1)", h.Fraction)
+		}
+	}
+	return nil
+}
+
+// String names the active shape components, e.g. "drift+crowd".
+func (s Shape) String() string {
+	var parts []string
+	if s.Drift != nil {
+		parts = append(parts, "drift")
+	}
+	if s.Crowd != nil {
+		parts = append(parts, "crowd")
+	}
+	if s.Diurnal != nil {
+		parts = append(parts, "diurnal")
+	}
+	if s.Hotspot != nil {
+		parts = append(parts, "hotspot")
+	}
+	if len(parts) == 0 {
+		return "flat"
+	}
+	return strings.Join(parts, "+")
+}
+
+// GenerateShaped synthesizes a query trace whose arrivals and spatial
+// distribution follow the shape. The population statistics are drawn
+// exactly as in GenerateQueries (lognormal executions scaled to the
+// target utilization, uniform deadlines, per-query freshness), so a
+// shaped trace differs from a flat one only in when queries land and
+// what they read.
+func GenerateShaped(cfg QueryConfig, shape Shape, seed uint64) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := shape.Validate(cfg); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed)
+	zipf := stats.NewZipf(rng.Split(), cfg.NumItems, cfg.ZipfSkew)
+	arrRNG := rng.Split()
+	execRNG := rng.Split()
+	dlRNG := rng.Split()
+	estRNG := rng.Split()
+	shapeRNG := rng.Split()
+
+	arrivals := shapedArrivals(cfg, shape, arrRNG)
+
+	execs := make([]float64, cfg.NumQueries)
+	sum := 0.0
+	for i := range execs {
+		execs[i] = execRNG.LogNormal(0, cfg.ExecSigma)
+		sum += execs[i]
+	}
+	scale := cfg.TargetUtilization * cfg.Duration / sum
+	maxExec, avgExec := 0.0, 0.0
+	for i := range execs {
+		execs[i] *= scale
+		avgExec += execs[i]
+		if execs[i] > maxExec {
+			maxExec = execs[i]
+		}
+	}
+	avgExec /= float64(len(execs))
+
+	w := &Workload{
+		Name:        "shaped-" + shape.String(),
+		NumItems:    cfg.NumItems,
+		Duration:    cfg.Duration,
+		Queries:     make([]QuerySpec, cfg.NumQueries),
+		QueryCounts: make([]int, cfg.NumItems),
+	}
+	for i := range w.Queries {
+		items := pickDistinct(zipf, cfg.ItemsPerQuery)
+		if d := shape.Drift; d != nil {
+			// The rotation is a bijection, so distinctness survives.
+			phase := d.Step * int(arrivals[i]/d.Period)
+			for j := range items {
+				items[j] = (items[j] + phase) % cfg.NumItems
+			}
+		}
+		if h := shape.Hotspot; h != nil && shapeRNG.Float64() < h.Fraction {
+			items = []int{h.Item}
+		}
+		for _, it := range items {
+			w.QueryCounts[it]++
+		}
+		est := execs[i]
+		if cfg.EstNoise > 0 {
+			est = execs[i] * (1 + cfg.EstNoise*estRNG.Normal(0, 1))
+			if est < 0.1*execs[i] {
+				est = 0.1 * execs[i]
+			}
+		}
+		rel := dlRNG.Uniform(avgExec, cfg.DeadlineSpread*maxExec)
+		w.Queries[i] = QuerySpec{
+			Arrival:     arrivals[i],
+			Items:       items,
+			Exec:        execs[i],
+			EstExec:     est,
+			RelDeadline: rel,
+			FreshReq:    cfg.FreshReq,
+			PrefClass:   -1,
+		}
+	}
+	if len(cfg.PreferenceMix) > 0 {
+		assignPreferences(w, cfg.PreferenceMix, rng.Split())
+	}
+	return w, nil
+}
+
+// shapedArrivals draws the arrival times: the crowd's share lands
+// uniformly inside its window, the rest follows the (possibly diurnal)
+// background process.
+func shapedArrivals(cfg QueryConfig, shape Shape, rng *stats.RNG) []float64 {
+	arrivals := make([]float64, 0, cfg.NumQueries)
+	nCrowd := 0
+	if c := shape.Crowd; c != nil {
+		nCrowd = int(float64(cfg.NumQueries) * c.Fraction)
+		for i := 0; i < nCrowd; i++ {
+			arrivals = append(arrivals, c.Start+rng.Float64()*c.Width)
+		}
+	}
+	for i := nCrowd; i < cfg.NumQueries; i++ {
+		arrivals = append(arrivals, backgroundArrival(cfg, shape.Diurnal, rng))
+	}
+	sort.Float64s(arrivals)
+	return arrivals
+}
+
+// backgroundArrival draws one background arrival, thinning against the
+// sinusoidal rate when a diurnal cycle is active. Thinning keeps the
+// count exact: a rejected instant is simply redrawn.
+func backgroundArrival(cfg QueryConfig, d *Diurnal, rng *stats.RNG) float64 {
+	if d == nil || d.PeakTrough == 1 {
+		return rng.Float64() * cfg.Duration
+	}
+	// rate(t) = 1 + a·sin(2πt/Period) with a chosen so peak/trough
+	// equals the configured ratio: a = (r-1)/(r+1).
+	a := (d.PeakTrough - 1) / (d.PeakTrough + 1)
+	for {
+		t := rng.Float64() * cfg.Duration
+		if rng.Float64()*(1+a) <= 1+a*math.Sin(2*math.Pi*t/d.Period) {
+			return t
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// shapedConfig is a small base config for shape tests; BurstFraction must
+// be zero for shaped traces (crowds are placed explicitly).
+func shapedConfig() QueryConfig {
+	c := SmallQueryConfig()
+	c.NumItems = 64
+	c.NumQueries = 4000
+	c.Duration = 3000
+	c.BurstFraction = 0
+	c.NumBursts = 0
+	c.BurstWidth = 0
+	return c
+}
+
+func fullShape() Shape {
+	return Shape{
+		Drift:   &Drift{Period: 300, Step: 16},
+		Crowd:   &Crowd{Start: 1200, Width: 200, Fraction: 0.35},
+		Diurnal: &Diurnal{Period: 1000, PeakTrough: 3},
+		Hotspot: &Hotspot{Item: 7, Fraction: 0.2},
+	}
+}
+
+func TestShapedTraceValid(t *testing.T) {
+	for _, shape := range []Shape{
+		{},
+		{Drift: &Drift{Period: 300, Step: 16}},
+		{Crowd: &Crowd{Start: 1200, Width: 200, Fraction: 0.35}},
+		{Diurnal: &Diurnal{Period: 1000, PeakTrough: 3}},
+		{Hotspot: &Hotspot{Item: 7, Fraction: 0.2}},
+		fullShape(),
+	} {
+		w, err := GenerateShaped(shapedConfig(), shape, 42)
+		if err != nil {
+			t.Fatalf("shape %v: %v", shape, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("shape %v: generated workload invalid: %v", shape, err)
+		}
+		if got := len(w.Queries); got != shapedConfig().NumQueries {
+			t.Fatalf("shape %v: %d queries, want %d", shape, got, shapedConfig().NumQueries)
+		}
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	cfg := shapedConfig()
+	bad := []Shape{
+		{Drift: &Drift{Period: 0, Step: 1}},
+		{Drift: &Drift{Period: 100, Step: 0}},
+		{Crowd: &Crowd{Start: -1, Width: 10, Fraction: 0.5}},
+		{Crowd: &Crowd{Start: 2950, Width: 100, Fraction: 0.5}}, // spills past the end
+		{Crowd: &Crowd{Start: 0, Width: 0, Fraction: 0.5}},
+		{Crowd: &Crowd{Start: 0, Width: 10, Fraction: 1}},
+		{Diurnal: &Diurnal{Period: 0, PeakTrough: 2}},
+		{Diurnal: &Diurnal{Period: 100, PeakTrough: 0.5}},
+		{Hotspot: &Hotspot{Item: 64, Fraction: 0.5}},
+		{Hotspot: &Hotspot{Item: 0, Fraction: 0}},
+	}
+	for i, s := range bad {
+		if _, err := GenerateShaped(cfg, s, 1); err == nil {
+			t.Errorf("bad shape %d accepted", i)
+		}
+	}
+	// Shaped traces must place their crowds explicitly.
+	burst := cfg
+	burst.BurstFraction = 0.4
+	burst.NumBursts = 10
+	burst.BurstWidth = 100
+	if _, err := GenerateShaped(burst, Shape{}, 1); err == nil {
+		t.Error("shape accepted a config with random bursts")
+	}
+}
+
+func TestCrowdConcentratesArrivals(t *testing.T) {
+	cfg := shapedConfig()
+	crowd := &Crowd{Start: 1200, Width: 200, Fraction: 0.35}
+	w, err := GenerateShaped(cfg, Shape{Crowd: crowd}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := 0
+	for _, q := range w.Queries {
+		if q.Arrival >= crowd.Start && q.Arrival < crowd.Start+crowd.Width {
+			in++
+		}
+	}
+	// The crowd contributes its fraction; the background adds ~Width/Duration.
+	wantMin := int(float64(cfg.NumQueries) * crowd.Fraction)
+	if in < wantMin {
+		t.Fatalf("%d arrivals in the crowd window, want >= %d", in, wantMin)
+	}
+}
+
+func TestDiurnalModulatesRate(t *testing.T) {
+	cfg := shapedConfig()
+	w, err := GenerateShaped(cfg, Shape{Diurnal: &Diurnal{Period: 1000, PeakTrough: 4}}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rate(t) = 1 + a·sin(2πt/1000) peaks around t=250+k·1000 and troughs
+	// around t=750+k·1000. Count arrivals in quarter-period buckets.
+	peak, trough := 0, 0
+	for _, q := range w.Queries {
+		phase := math.Mod(q.Arrival, 1000)
+		switch {
+		case phase >= 125 && phase < 375:
+			peak++
+		case phase >= 625 && phase < 875:
+			trough++
+		}
+	}
+	if peak <= trough*2 {
+		t.Fatalf("peak bucket %d not clearly above trough bucket %d", peak, trough)
+	}
+}
+
+func TestHotspotConcentratesReads(t *testing.T) {
+	cfg := shapedConfig()
+	h := &Hotspot{Item: 7, Fraction: 0.5}
+	w, err := GenerateShaped(cfg, Shape{Hotspot: h}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(float64(cfg.NumQueries) * h.Fraction * 0.8)
+	if got := w.QueryCounts[h.Item]; got < want {
+		t.Fatalf("hotspot item read %d times, want >= %d", got, want)
+	}
+}
+
+func TestDriftMovesHotSetKeepsSkew(t *testing.T) {
+	cfg := shapedConfig()
+	d := &Drift{Period: 750, Step: 16}
+	w, err := GenerateShaped(cfg, Shape{Drift: d}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The modal item of the first drift phase and the third must differ by
+	// exactly 2·Step (mod NumItems): the ranking rotated twice.
+	modal := func(lo, hi float64) int {
+		counts := make([]int, cfg.NumItems)
+		for _, q := range w.Queries {
+			if q.Arrival >= lo && q.Arrival < hi {
+				counts[q.Items[0]]++
+			}
+		}
+		best := 0
+		for i, c := range counts {
+			if c > counts[best] {
+				best = i
+			}
+			_ = c
+		}
+		return best
+	}
+	m0 := modal(0, 750)
+	m2 := modal(1500, 2250)
+	if want := (m0 + 2*d.Step) % cfg.NumItems; m2 != want {
+		t.Fatalf("modal item drifted %d -> %d, want %d", m0, m2, want)
+	}
+}
+
+// eventStreamHash fingerprints the full generated event stream — arrival
+// bits, read sets, execution and deadline bits — so golden tests can pin
+// that generation never drifts across refactors.
+func eventStreamHash(w *Workload) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	for _, q := range w.Queries {
+		put(math.Float64bits(q.Arrival))
+		put(math.Float64bits(q.Exec))
+		put(math.Float64bits(q.EstExec))
+		put(math.Float64bits(q.RelDeadline))
+		for _, it := range q.Items {
+			put(uint64(it))
+		}
+	}
+	for _, u := range w.Updates {
+		put(uint64(u.Item))
+		put(math.Float64bits(u.Period))
+		put(math.Float64bits(u.Exec))
+	}
+	return h.Sum64()
+}
+
+func TestShapedDeterminism(t *testing.T) {
+	cfg := shapedConfig()
+	shape := fullShape()
+	a, err := GenerateShaped(cfg, shape, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateShaped(cfg, shape, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different shaped workloads")
+	}
+	c, err := GenerateShaped(cfg, shape, 1235)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Queries, c.Queries) {
+		t.Fatal("different seeds produced identical shaped workloads")
+	}
+}
+
+// TestShapedGolden pins the exact event stream of one shaped trace (and
+// its update overlay): if any refactor of the generators changes a single
+// bit of any arrival, read set, execution time or deadline, this fails.
+// Regenerate the constants only for a deliberate, documented change of
+// generation semantics.
+func TestShapedGolden(t *testing.T) {
+	cfg := shapedConfig()
+	qw, err := GenerateShaped(cfg, fullShape(), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantQueries = uint64(0xb44b86dd7078ec3b)
+	if got := eventStreamHash(qw); got != wantQueries {
+		t.Errorf("shaped query stream hash = %#x, want %#x", got, wantQueries)
+	}
+	w, err := GenerateUpdates(qw, DefaultUpdateConfig(Med, PositiveCorrelation), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantFull = uint64(0xe8f7f2e0fd7fe879)
+	if got := eventStreamHash(w); got != wantFull {
+		t.Errorf("shaped full-trace hash = %#x, want %#x", got, wantFull)
+	}
+	// And the flat generator stays pinned too.
+	flat, err := GenerateQueries(SmallQueryConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantFlat = uint64(0x0ef8aa01172ee235)
+	if got := eventStreamHash(flat); got != wantFlat {
+		t.Errorf("flat query stream hash = %#x, want %#x", got, wantFlat)
+	}
+}
+
+func TestShapedSaveLoadRoundTrip(t *testing.T) {
+	qw, err := GenerateShaped(shapedConfig(), fullShape(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := GenerateUpdates(qw, DefaultUpdateConfig(Low, Uniform), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w, got) {
+		t.Fatal("shaped workload did not survive a save/load round trip")
+	}
+	var qcsv, ucsv bytes.Buffer
+	if err := got.WriteQueriesCSV(&qcsv); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteUpdatesCSV(&ucsv); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(qcsv.Bytes(), []byte("\n")); n != len(w.Queries)+1 {
+		t.Fatalf("queries CSV has %d lines, want %d", n, len(w.Queries)+1)
+	}
+	if n := bytes.Count(ucsv.Bytes(), []byte("\n")); n != len(w.Updates)+1 {
+		t.Fatalf("updates CSV has %d lines, want %d", n, len(w.Updates)+1)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := (Shape{}).String(); got != "flat" {
+		t.Fatalf("empty shape = %q", got)
+	}
+	if got := fullShape().String(); got != "drift+crowd+diurnal+hotspot" {
+		t.Fatalf("full shape = %q", got)
+	}
+	if got := fmt.Sprint(fullShape()); got == "" {
+		t.Fatal("shape does not print")
+	}
+}
