@@ -18,18 +18,22 @@ race:
 vet:
 	$(GO) vet ./...
 
-# unitlint enforces the determinism/concurrency invariants with ten
-# analyzers — detclock, seededrand, guardedby, usmrange, the
-# flow-sensitive locksafe, guardedflow, outcomeonce, and the
-# interprocedural deadlock, owned, maporder (see cmd/unitlint -help).
+# unitlint enforces the determinism/concurrency invariants with
+# thirteen analyzers — detclock, seededrand, guardedby, usmrange, the
+# flow-sensitive locksafe, guardedflow, outcomeonce, the
+# interprocedural deadlock, owned, maporder (over a devirtualized call
+# graph), and the concurrency-primitive atomicsafe, chandisc, wgsafe
+# (see cmd/unitlint -help).
 # Findings stream to lint.json (the CI artifact) with a per-analyzer
 # timings trailer; anything not in lint.baseline — or recorded there
 # but stale, under -strict-baseline — fails the run.
 unitlint:
 	$(GO) run ./cmd/unitlint -json -timings -strict-baseline ./... > lint.json; code=$$?; cat lint.json; exit $$code
 
-# Dogfood: the analyzers' own CFG/dataflow/callgraph code holds locks
-# and ranges maps too. Same gates, scoped to internal/lint.
+# Dogfood: the analyzers' own CFG/dataflow/callgraph code holds locks,
+# ranges maps, and (in the new concurrency-primitive packages) judges
+# the very patterns it uses itself. Same gates, scoped to internal/lint
+# — ./internal/lint/... picks up atomicsafe, chandisc and wgsafe too.
 unitlint-self:
 	$(GO) run ./cmd/unitlint -strict-baseline ./internal/lint/... ./cmd/unitlint
 

@@ -10,10 +10,16 @@
 //	time.Now() // want `wall clock`
 //
 // The backquoted (or double-quoted) text is a regular expression that must
-// match the message of a diagnostic reported on that line. Lines without a
-// want comment must produce no diagnostics, so every fixture doubles as
-// its own negative test; clean files pin the analyzer's false-positive
-// behaviour.
+// match the message of a diagnostic reported on that line. A pattern may
+// carry a multiplicity prefix asserting an exact count of matching
+// diagnostics at that line — devirtualized calls often report once per
+// implementing type:
+//
+//	p.Score(x) // want 2:`acquires`
+//
+// Lines without a want comment must produce no diagnostics, so every
+// fixture doubles as its own negative test; clean files pin the
+// analyzer's false-positive behaviour.
 package analysistest
 
 import (
@@ -23,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -54,10 +61,11 @@ type expect struct {
 	file string
 	line int
 	re   *regexp.Regexp
-	hit  bool
+	want int // exact number of matching diagnostics expected
+	got  int
 }
 
-var wantPatRE = regexp.MustCompile("^\\s*(`([^`]*)`|\"([^\"]*)\")")
+var wantPatRE = regexp.MustCompile("^\\s*(?:(\\d+):)?\\s*(`([^`]*)`|\"([^\"]*)\")")
 
 func runOne(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
 	t.Helper()
@@ -87,11 +95,11 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
 		}
 		matched := false
 		for _, e := range expects {
-			if e.hit || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			if e.got >= e.want || e.file != d.Pos.Filename || e.line != d.Pos.Line {
 				continue
 			}
 			if e.re.MatchString(d.Message) {
-				e.hit = true
+				e.got++
 				matched = true
 				break
 			}
@@ -101,9 +109,9 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
 		}
 	}
 	for _, e := range expects {
-		if !e.hit {
-			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
-				path, e.file, e.line, e.re)
+		if e.got != e.want {
+			t.Errorf("%s: %s:%d: expected %d diagnostic(s) matching %q, got %d",
+				path, e.file, e.line, e.want, e.re, e.got)
 		}
 	}
 }
@@ -121,21 +129,28 @@ func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expect {
 			}
 			pos := fset.Position(c.Pos())
 			// A single want comment may carry several space-separated
-			// patterns, one per expected diagnostic on the line.
+			// patterns, one per expected diagnostic on the line; an
+			// optional "N:" prefix asserts an exact count instead of 1.
 			for {
 				m := wantPatRE.FindStringSubmatch(rest)
 				if m == nil {
 					break
 				}
-				pat := m[2]
+				pat := m[3]
 				if pat == "" {
-					pat = m[3]
+					pat = m[4]
 				}
 				re, err := regexp.Compile(pat)
 				if err != nil {
 					t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
 				}
-				out = append(out, &expect{file: pos.Filename, line: pos.Line, re: re})
+				want := 1
+				if m[1] != "" {
+					if want, err = strconv.Atoi(m[1]); err != nil || want < 1 {
+						t.Fatalf("%s: bad want multiplicity %q", pos, m[1])
+					}
+				}
+				out = append(out, &expect{file: pos.Filename, line: pos.Line, re: re, want: want})
 				rest = rest[len(m[0]):]
 			}
 		}

@@ -1,0 +1,275 @@
+// Package atomicsafe enforces all-or-nothing atomicity on struct
+// fields: once a field is accessed through sync/atomic anywhere in the
+// package, every access must be. Mixing `atomic.AddInt64(&s.n, 1)` in
+// one function with a plain `s.n++` in another is a data race the race
+// detector only catches when a run happens to interleave the two; the
+// mix is visible statically.
+//
+// Two field classes are tracked, package-wide:
+//
+//   - handle fields, declared with a sync/atomic handle type
+//     (atomic.Int64, atomic.Uint64, atomic.Bool, ...): the only
+//     sanctioned uses are calling a method on the field (s.n.Add(1),
+//     s.n.Load()) and taking its address (handing the handle to a
+//     helper). Assigning, incrementing, or reading the field bare
+//     copies or races the handle;
+//   - pointer-call fields, plain-typed fields whose address is passed
+//     to a sync/atomic function (atomic.AddInt64(&s.n, 1)) anywhere in
+//     the package: every other read or write of the field must also go
+//     through sync/atomic.
+//
+// The check is interprocedural in the same sense as the rest of the
+// summary layer: classification in any function poisons plain access in
+// every other, and field accesses are resolved through the callgraph's
+// binding and field-type tables — receivers, parameters, locals of
+// evident type, and one level of field indirection (s.inner.n) — so a
+// method reached only through a devirtualized interface call is judged
+// exactly like one called directly. Unresolvable expressions
+// contribute nothing, in either direction: an access the syntax cannot
+// pin to a field neither classifies nor violates (under-approximation,
+// like the call graph itself).
+package atomicsafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/callgraph"
+	"unitdb/internal/lint/summary"
+)
+
+// Analyzer is the atomicsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsafe",
+	Doc:  "fields accessed via sync/atomic (or declared atomic.*) are never read or written plainly",
+	Run:  run,
+}
+
+// handleTypes are the sync/atomic handle types (Go 1.19+).
+var handleTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Pointer": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true, "Value": true,
+}
+
+// fieldKey names one struct field package-wide.
+type fieldKey struct{ typ, field string }
+
+func (k fieldKey) String() string { return fmt.Sprintf("(%s).%s", k.typ, k.field) }
+
+type checker struct {
+	pass *analysis.Pass
+	g    *callgraph.Graph
+	// handle maps handle fields to their declared type ("atomic.Int64").
+	handle map[fieldKey]string
+	// viaCalls marks plain-typed fields whose address reaches a
+	// sync/atomic function call somewhere in the package.
+	viaCalls map[fieldKey]token.Pos
+	// sanctioned marks selector nodes that are legitimate atomic uses:
+	// the receiver of a handle-field method call, the operand of & (the
+	// address either feeds a sync/atomic call or hands the handle on).
+	sanctioned map[*ast.SelectorExpr]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:       pass,
+		g:          summary.Of(pass.Pkg).Graph,
+		handle:     map[fieldKey]string{},
+		viaCalls:   map[fieldKey]token.Pos{},
+		sanctioned: map[*ast.SelectorExpr]bool{},
+	}
+	for typ, fields := range c.g.FieldTypes {
+		for f, ft := range fields {
+			if pkg, name, ok := strings.Cut(ft, "."); ok && pkg == "atomic" && handleTypes[name] {
+				c.handle[fieldKey{typ, f}] = ft
+			}
+		}
+	}
+	// Classification sweep: find every &field argument of a sync/atomic
+	// call. Runs before checking so use in one function governs all.
+	for _, file := range pass.Pkg.Files {
+		atomicNames := atomicImportNames(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.classify(callgraph.DeclID(fd), fd.Body, atomicNames)
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		atomicNames := atomicImportNames(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.check(callgraph.DeclID(fd), fd.Body, atomicNames)
+		}
+	}
+	return nil
+}
+
+// atomicImportNames returns the file's names for sync/atomic, always
+// including the default so standalone mutation fixtures work unimported.
+func atomicImportNames(file *ast.File) map[string]bool {
+	names := map[string]bool{"atomic": true}
+	for _, n := range analysis.ImportNames(file, "sync/atomic") {
+		names[n] = true
+	}
+	return names
+}
+
+// isAtomicCall reports whether call is atomic.Fn(...) under the file's
+// import names.
+func isAtomicCall(call *ast.CallExpr, atomicNames map[string]bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && atomicNames[pkg.Name]
+}
+
+// fieldOf resolves a selector to the struct field it names, through the
+// callgraph's binding table, with one level of field indirection.
+func (c *checker) fieldOf(fn callgraph.FuncID, sel *ast.SelectorExpr) (fieldKey, bool) {
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		if typ, ok := c.g.Bindings(fn)[x.Name]; ok {
+			return fieldKey{typ, sel.Sel.Name}, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := x.X.(*ast.Ident)
+		if !ok {
+			break
+		}
+		typ, ok := c.g.Bindings(fn)[base.Name]
+		if !ok {
+			break
+		}
+		ft, ok := c.g.FieldTypes[typ][x.Sel.Name]
+		if ok && !strings.Contains(ft, ".") {
+			return fieldKey{ft, sel.Sel.Name}, true
+		}
+	}
+	return fieldKey{}, false
+}
+
+// classify records fields whose address feeds a sync/atomic call.
+func (c *checker) classify(fn callgraph.FuncID, body *ast.BlockStmt, atomicNames map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(call, atomicNames) {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := c.fieldOf(fn, sel); ok {
+				if _, handled := c.handle[key]; !handled {
+					if _, seen := c.viaCalls[key]; !seen {
+						c.viaCalls[key] = sel.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// classified reports whether key is atomic, with a description of why.
+func (c *checker) classified(key fieldKey) (string, bool) {
+	if ft, ok := c.handle[key]; ok {
+		return "declared " + ft, true
+	}
+	if _, ok := c.viaCalls[key]; ok {
+		return "accessed via sync/atomic elsewhere in this package", true
+	}
+	return "", false
+}
+
+// check walks one function body: first sanctioning the atomic-shaped
+// uses, then reporting every remaining access to a classified field.
+func (c *checker) check(fn callgraph.FuncID, body *ast.BlockStmt, atomicNames map[string]bool) {
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicCall(n, atomicNames) {
+				for _, arg := range n.Args {
+					if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+						if sel, ok := un.X.(*ast.SelectorExpr); ok {
+							c.sanctioned[sel] = true
+						}
+					}
+				}
+				return true
+			}
+			// A method call whose receiver is a handle field: s.n.Add(1).
+			if fun, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if recv, ok := fun.X.(*ast.SelectorExpr); ok {
+					if key, ok := c.fieldOf(fn, recv); ok {
+						if _, isHandle := c.handle[key]; isHandle {
+							c.sanctioned[recv] = true
+						}
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// &s.n hands the field's address on; for handle fields that is
+			// the normal way to share the handle, for pointer-call fields
+			// the pointee's further use is beyond syntax. Either way, not
+			// a plain access.
+			if n.Op == token.AND {
+				if sel, ok := n.X.(*ast.SelectorExpr); ok {
+					c.sanctioned[sel] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					writes[sel] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || c.sanctioned[sel] {
+			return true
+		}
+		key, ok := c.fieldOf(fn, sel)
+		if !ok {
+			return true
+		}
+		why, atomic := c.classified(key)
+		if !atomic {
+			return true
+		}
+		verb := "read of"
+		if writes[sel] {
+			verb = "write to"
+		}
+		c.pass.Reportf(sel.Pos(),
+			"plain %s %s, %s (racy mix of atomic and plain access)",
+			verb, key, why)
+		// The field selector was judged; don't descend and re-judge its
+		// base as an access of its own.
+		return false
+	})
+}

@@ -1,0 +1,87 @@
+package atomicsafe
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "unitdb/internal/atfix")
+}
+
+// TestMutationPlainIncrement is the seeded mutation check: replacing
+// Counter.Inc's atomic Add with a plain increment — the exact slip a
+// refactor away from sync/atomic would make — must produce exactly one
+// finding on the real metrics source.
+func TestMutationPlainIncrement(t *testing.T) {
+	src := readMetricsGo(t)
+	mutated := strings.Replace(src,
+		"func (c *Counter) Inc() { c.v.Add(1) }",
+		"func (c *Counter) Inc() { c.v++ }", 1)
+	if mutated == src {
+		t.Fatal("mutation had no effect; did internal/obs/metrics/metrics.go change shape?")
+	}
+
+	diags := runOnSource(t, mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "plain write to (Counter).v, declared atomic.Int64") {
+		t.Errorf("finding does not name the racy field: %s", diags[0])
+	}
+}
+
+// TestUnmutatedMetricsIsClean pins the baseline the mutation test
+// depends on: the real file alone must produce no atomicsafe findings.
+func TestUnmutatedMetricsIsClean(t *testing.T) {
+	if diags := runOnSource(t, readMetricsGo(t)); len(diags) != 0 {
+		t.Fatalf("unexpected findings on pristine metrics.go:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
+func readMetricsGo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "obs", "metrics", "metrics.go")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading real source: %v", err)
+	}
+	return string(b)
+}
+
+// runOnSource applies the analyzer to one in-memory file.
+func runOnSource(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "metrics.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &analysis.Package{
+		Path:  "unitdb/internal/obs/metrics",
+		Name:  file.Name.Name,
+		Fset:  fset,
+		Files: []*ast.File{file},
+	}
+	var diags []analysis.Diagnostic
+	if err := Analyzer.Run(analysis.NewPass(Analyzer, pkg, &diags)); err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if !analysis.Suppressed(pkg, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

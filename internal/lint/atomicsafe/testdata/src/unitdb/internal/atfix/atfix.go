@@ -1,0 +1,59 @@
+// Package atfix exercises the atomicsafe analyzer: handle-typed fields
+// (atomic.Int64 and friends), plain fields promoted to atomic by a
+// sync/atomic call elsewhere in the package, and the sanctioned uses
+// that must stay silent.
+package atfix
+
+import "sync/atomic"
+
+type Stats struct {
+	hits  atomic.Int64 // handle field: methods and & only
+	total int64        // promoted: Bump/Load access it via sync/atomic
+	plain int64        // never atomic: free to use plainly
+}
+
+// Hit uses the handle's own method: sanctioned.
+func (s *Stats) Hit() { s.hits.Add(1) }
+
+// Bump promotes total: its address reaches a sync/atomic call, so every
+// other access must too.
+func (s *Stats) Bump() { atomic.AddInt64(&s.total, 1) }
+
+// Load is the sanctioned atomic read of the promoted field.
+func (s *Stats) Load() int64 { return atomic.LoadInt64(&s.total) }
+
+// Racy mixes plain access into both classes.
+func (s *Stats) Racy() int64 {
+	s.total++    // want `plain write to \(Stats\)\.total, accessed via sync/atomic elsewhere in this package`
+	v := s.total // want `plain read of \(Stats\)\.total, accessed via sync/atomic elsewhere in this package`
+	h := s.hits  // want `plain read of \(Stats\)\.hits, declared atomic\.Int64`
+	_ = h
+	s.plain++ // plain field: fine
+	return v + s.plain
+}
+
+// Assign writes the promoted field directly.
+func (s *Stats) Assign() {
+	s.total = 0 // want `plain write to \(Stats\)\.total`
+}
+
+// Wrap reaches the field through one level of indirection; the same
+// rules apply.
+type Wrap struct{ st *Stats }
+
+func (w *Wrap) Touch() {
+	atomic.AddInt64(&w.st.total, 1) // & into a sync/atomic call: sanctioned
+	w.st.total = 1                  // want `plain write to \(Stats\)\.total`
+}
+
+// share hands the handle's address on — how a helper receives an
+// *atomic.Int64 — which is not a plain access.
+func share(s *Stats) *atomic.Int64 { return &s.hits }
+
+// localHandle is out of scope: atomicsafe tracks struct fields, and a
+// local atomic's uses are all visible in one function anyway.
+func localHandle() int64 {
+	var n atomic.Int64
+	n.Add(2)
+	return n.Load()
+}

@@ -10,14 +10,32 @@
 //     x := new(T); func f(x *T)): x.m()
 //   - one level of field indirection when the field's declared type is a
 //     named in-package type: s.field.m() where field's type is known
+//   - interface method calls, devirtualized CHA-style: a call x.m()
+//     where x's evident type is a package-local interface resolves to
+//     T.m for every package-local concrete type T whose declared method
+//     set covers the interface (matched by method name and arity — the
+//     closest honest approximation of implements without go/types).
+//     One level of field indirection applies here too: s.field.m()
+//     where field's declared type is a local interface fans out the
+//     same way.
+//   - function values, flow-insensitively: assignments of named
+//     functions and bound methods to variables (f := helper), to
+//     struct fields (s.cb = helper, T{cb: helper}), and to the
+//     parameters of resolved in-package calls (run(helper) binds run's
+//     parameter) accumulate into binding sets, and a later call through
+//     the variable, field, or parameter produces an edge to every
+//     function ever bound there.
 //
-// Everything else — function values, interface method calls, calls
-// through composite expressions — stays unresolved, and unresolved calls
-// simply contribute no edge. Consumers must treat a missing edge as
-// "unknown", never as "does not call": the graph under-approximates the
-// real call relation, which is the honest direction for the analyzers
-// built on it (deadlock and owned only report facts provable from edges
-// that do exist).
+// Everything else — calls through composite expressions, cross-package
+// interfaces, function values the package never binds — stays
+// unresolved, and unresolved calls simply contribute no edge. Consumers
+// must treat a missing edge as "unknown", never as "does not call": the
+// graph under-approximates the real call relation, which is the honest
+// direction for the analyzers built on it (deadlock and owned only
+// report facts provable from edges that do exist). Devirtualized and
+// function-value edges point at real package functions that the syntax
+// shows can be bound at the call site; a call with several candidates
+// gets one edge per candidate.
 //
 // Each edge is classified by the goroutine context of its call site:
 // a plain call (Call), a call inside a function literal that is not the
@@ -117,24 +135,63 @@ type Graph struct {
 	// HTTP handler entry points, which run on server goroutines.
 	Handlers map[FuncID]bool
 
+	// Interfaces maps each package-local interface type to its sorted
+	// method names (embedded local interfaces flattened; an interface
+	// embedding anything unresolvable — a cross-package type — is
+	// omitted entirely, so devirtualization never matches a partial
+	// method set).
+	Interfaces map[string][]string
+	// Implementers maps interface name → the sorted package-local
+	// concrete types whose declared method set covers every interface
+	// method (matched by name and arity).
+	Implementers map[string][]string
+
 	// bindings caches per-function identifier→type tables.
 	bindings map[FuncID]map[string]string
+
+	// ifaceMethods records, per interface, method name → arity
+	// (parameter count, results count) for implementer matching.
+	ifaceMethods map[string]map[string]arity
+	// ifaceEmbeds records embedded type names per interface, resolved
+	// (or rejected) in computeImplementers.
+	ifaceEmbeds map[string][]string
+	// funcVars accumulates function-value bindings per enclosing
+	// function: identifier → every named function or method the package
+	// ever binds to it (assignments and resolved call arguments).
+	funcVars map[FuncID]map[string][]FuncID
+	// fieldFuncs accumulates function-value bindings per struct field:
+	// type → field → every function the package ever stores there.
+	fieldFuncs map[string]map[string][]FuncID
 }
+
+// arity is the shape of a method used for implements-matching: the
+// number of parameters and results (names and types are invisible to a
+// syntactic pass, but a name+arity match is already a strong signal
+// within one package).
+type arity struct{ params, results int }
 
 // Build constructs the graph for one package.
 func Build(pkg *analysis.Package) *Graph {
 	g := &Graph{
-		Funcs:       map[FuncID]*ast.FuncDecl{},
-		Callees:     map[FuncID][]Edge{},
-		Callers:     map[FuncID][]Edge{},
-		FieldTypes:  map[string]map[string]string{},
-		MutexFields: map[string]map[string]bool{},
-		MapFields:   map[string]bool{},
-		PkgVars:     map[string]bool{},
-		Handlers:    map[FuncID]bool{},
-		bindings:    map[FuncID]map[string]string{},
+		Funcs:        map[FuncID]*ast.FuncDecl{},
+		Callees:      map[FuncID][]Edge{},
+		Callers:      map[FuncID][]Edge{},
+		FieldTypes:   map[string]map[string]string{},
+		MutexFields:  map[string]map[string]bool{},
+		MapFields:    map[string]bool{},
+		PkgVars:      map[string]bool{},
+		Handlers:     map[FuncID]bool{},
+		Interfaces:   map[string][]string{},
+		Implementers: map[string][]string{},
+		bindings:     map[FuncID]map[string]string{},
+		ifaceMethods: map[string]map[string]arity{},
+		ifaceEmbeds:  map[string][]string{},
+		funcVars:     map[FuncID]map[string][]FuncID{},
+		fieldFuncs:   map[string]map[string][]FuncID{},
 	}
 	g.collectDecls(pkg)
+	g.computeImplementers()
+	g.collectFuncValues(pkg)
 	for _, file := range pkg.Files {
 		httpNames := analysis.ImportNames(file, "net/http")
 		for _, decl := range file.Decls {
@@ -211,11 +268,12 @@ func (g *Graph) collectDecls(pkg *analysis.Package) {
 							}
 						}
 					case *ast.TypeSpec:
-						st, ok := s.Type.(*ast.StructType)
-						if !ok {
-							continue
+						switch t := s.Type.(type) {
+						case *ast.StructType:
+							g.collectStruct(s.Name.Name, t)
+						case *ast.InterfaceType:
+							g.collectInterface(s.Name.Name, t)
 						}
-						g.collectStruct(s.Name.Name, st)
 					}
 				}
 			}
@@ -254,6 +312,332 @@ func (g *Graph) collectStruct(typ string, st *ast.StructType) {
 			m[n.Name] = ft
 		}
 	}
+}
+
+// collectInterface records one package-local interface's explicit
+// methods (with arity) and embedded type names.
+func (g *Graph) collectInterface(name string, it *ast.InterfaceType) {
+	methods := map[string]arity{}
+	for _, m := range it.Methods.List {
+		if len(m.Names) == 0 {
+			// Embedded interface (or type-set term); resolved later.
+			if en := FlattenType(m.Type); en != "" {
+				g.ifaceEmbeds[name] = append(g.ifaceEmbeds[name], en)
+			} else {
+				// A type-set union or other construct we cannot name:
+				// poison the interface so it never half-matches.
+				g.ifaceEmbeds[name] = append(g.ifaceEmbeds[name], "?")
+			}
+			continue
+		}
+		ft, ok := m.Type.(*ast.FuncType)
+		if !ok {
+			continue
+		}
+		for _, n := range m.Names {
+			methods[n.Name] = arity{params: fieldCount(ft.Params), results: fieldCount(ft.Results)}
+		}
+	}
+	g.ifaceMethods[name] = methods
+}
+
+// fieldCount counts the identifiers a parameter/result list declares
+// (grouped names each count; an unnamed field counts once).
+func fieldCount(fl *ast.FieldList) int {
+	if fl == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// computeImplementers flattens embedded local interfaces and matches
+// every package-local concrete type's declared method set against every
+// interface. An interface embedding anything that is not a local
+// interface is dropped: matching against a partial method set would
+// claim implementers the real type system might reject.
+func (g *Graph) computeImplementers() {
+	// Resolve embeds transitively; detect the unresolvable.
+	for name := range g.ifaceMethods {
+		if !g.flattenEmbeds(name, map[string]bool{}) {
+			delete(g.ifaceMethods, name)
+		}
+	}
+	// Declared method sets of concrete receivers, from the function
+	// table (methods with bodies — the only ones whose acquisitions the
+	// analyzers can see anyway).
+	methodSets := map[string]map[string]arity{}
+	for id, fd := range g.Funcs {
+		if fd.Recv == nil {
+			continue
+		}
+		typ, method, ok := strings.Cut(string(id), ".")
+		if !ok {
+			continue
+		}
+		m := methodSets[typ]
+		if m == nil {
+			m = map[string]arity{}
+			methodSets[typ] = m
+		}
+		m[method] = arity{params: fieldCount(fd.Type.Params), results: fieldCount(fd.Type.Results)}
+	}
+	for name, want := range g.ifaceMethods {
+		if len(want) == 0 {
+			// interface{} — nothing callable, nothing to devirtualize.
+			continue
+		}
+		names := make([]string, 0, len(want))
+		for m := range want {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		g.Interfaces[name] = names
+		for typ, have := range methodSets {
+			ok := true
+			for m, a := range want {
+				if have[m] != a {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				g.Implementers[name] = append(g.Implementers[name], typ)
+			}
+		}
+		sort.Strings(g.Implementers[name])
+	}
+}
+
+// flattenEmbeds folds name's embedded local interfaces into its method
+// map, reporting false when any embed cannot be resolved locally.
+func (g *Graph) flattenEmbeds(name string, visiting map[string]bool) bool {
+	if visiting[name] {
+		return true // embed cycle; the parser allows it, methods already merged
+	}
+	visiting[name] = true
+	for _, en := range g.ifaceEmbeds[name] {
+		em, ok := g.ifaceMethods[en]
+		if !ok {
+			return false // "?", a cross-package name, or a non-interface
+		}
+		if !g.flattenEmbeds(en, visiting) {
+			return false
+		}
+		for m, a := range em {
+			g.ifaceMethods[name][m] = a
+		}
+	}
+	g.ifaceEmbeds[name] = nil
+	return true
+}
+
+// collectFuncValues accumulates the package's function-value bindings:
+// named funcs and bound methods assigned to variables, stored into
+// struct fields (by assignment or composite literal), or passed as
+// arguments to resolved in-package calls. The tables only grow, and a
+// binding discovered in one round can resolve calls that bind more
+// parameters in the next, so collection iterates to a fixpoint.
+func (g *Graph) collectFuncValues(pkg *analysis.Package) {
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if g.collectFuncValuesIn(DeclID(fd), fd.Body) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (g *Graph) collectFuncValuesIn(id FuncID, body *ast.BlockStmt) bool {
+	changed := false
+	bindVar := func(owner FuncID, name string, vals []FuncID) {
+		if name == "" || name == "_" || len(vals) == 0 {
+			return
+		}
+		m := g.funcVars[owner]
+		if m == nil {
+			m = map[string][]FuncID{}
+			g.funcVars[owner] = m
+		}
+		if addFuncs(m, name, vals) {
+			changed = true
+		}
+	}
+	bindField := func(typ, field string, vals []FuncID) {
+		if typ == "" || strings.Contains(typ, ".") || field == "" || len(vals) == 0 {
+			return
+		}
+		m := g.fieldFuncs[typ]
+		if m == nil {
+			m = map[string][]FuncID{}
+			g.fieldFuncs[typ] = m
+		}
+		if addFuncs(m, field, vals) {
+			changed = true
+		}
+	}
+	bindTarget := func(lhs ast.Expr, vals []FuncID) {
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			bindVar(id, lhs.Name, vals)
+		case *ast.SelectorExpr:
+			if x, ok := lhs.X.(*ast.Ident); ok {
+				if typ, ok := g.Bindings(id)[x.Name]; ok {
+					bindField(typ, lhs.Sel.Name, vals)
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				bindTarget(lhs, g.FuncValues(id, n.Rhs[i]))
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					bindVar(id, name.Name, g.FuncValues(id, n.Values[i]))
+				}
+			}
+		case *ast.CompositeLit:
+			typ := FlattenType(n.Type)
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				bindField(typ, key.Name, g.FuncValues(id, kv.Value))
+			}
+		case *ast.CallExpr:
+			for _, callee := range g.ResolveAll(id, n) {
+				fd := g.Funcs[callee]
+				if fd == nil {
+					continue
+				}
+				for i, arg := range n.Args {
+					vals := g.FuncValues(id, arg)
+					if len(vals) == 0 {
+						continue
+					}
+					if name := paramName(fd, i); name != "" {
+						bindVar(callee, name, vals)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// addFuncs merges vals into m[name] keeping the slice sorted and
+// deduplicated; it reports whether anything new arrived.
+func addFuncs(m map[string][]FuncID, name string, vals []FuncID) bool {
+	have := m[name]
+	set := map[FuncID]bool{}
+	for _, f := range have {
+		set[f] = true
+	}
+	added := false
+	for _, f := range vals {
+		if !set[f] {
+			set[f] = true
+			added = true
+		}
+	}
+	if !added {
+		return false
+	}
+	out := make([]FuncID, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	m[name] = out
+	return true
+}
+
+// paramName returns the name of fd's i-th parameter (grouped names
+// expanded), or "" when it is unnamed or out of range.
+func paramName(fd *ast.FuncDecl, i int) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	idx := 0
+	for _, p := range fd.Type.Params.List {
+		n := len(p.Names)
+		if n == 0 {
+			n = 1
+		}
+		if i < idx+n {
+			if len(p.Names) == 0 {
+				return ""
+			}
+			name := p.Names[i-idx].Name
+			if name == "_" {
+				return ""
+			}
+			return name
+		}
+		idx += n
+	}
+	return ""
+}
+
+// FuncValues returns the named package functions and bound methods
+// expression e evidently denotes as a value: `helper` for a package
+// function, `x.m` for a method of x's evident type (fanning out through
+// a local interface's implementers). Anything else — literals, calls,
+// composite expressions — yields nothing.
+func (g *Graph) FuncValues(fn FuncID, e ast.Expr) []FuncID {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if fd, ok := g.Funcs[FuncID(e.Name)]; ok && fd.Recv == nil {
+			return []FuncID{FuncID(e.Name)}
+		}
+	case *ast.SelectorExpr:
+		x, ok := e.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		typ, ok := g.Bindings(fn)[x.Name]
+		if !ok {
+			return nil
+		}
+		if m := MethodID(typ, e.Sel.Name); g.Funcs[m] != nil {
+			return []FuncID{m}
+		}
+		var out []FuncID
+		for _, impl := range g.Implementers[typ] {
+			if m := MethodID(impl, e.Sel.Name); g.Funcs[m] != nil {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	return nil
 }
 
 // FlattenType renders a type expression as a dotted name: "T", "pkg.T"
@@ -381,26 +765,43 @@ func literalType(e ast.Expr) string {
 	return ""
 }
 
-// Resolve maps one call expression inside function id to its callee, if
-// the syntax pins it down. ok is false for unresolved calls.
+// Resolve maps one call expression inside function id to its callee
+// when the syntax pins it down to exactly one function. ok is false for
+// unresolved calls and for devirtualized calls with several candidates;
+// consumers that can handle fan-out should use ResolveAll.
 func (g *Graph) Resolve(id FuncID, call *ast.CallExpr) (FuncID, bool) {
+	all := g.ResolveAll(id, call)
+	if len(all) == 1 {
+		return all[0], true
+	}
+	return "", false
+}
+
+// ResolveAll maps one call expression inside function id to every
+// callee the syntax shows it can reach: exactly one for a direct call,
+// one per implementing type for a devirtualized interface call, one per
+// bound function for a call through a function-valued variable or
+// field. The slice is sorted and empty for unresolved calls.
+func (g *Graph) ResolveAll(id FuncID, call *ast.CallExpr) []FuncID {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		callee := FuncID(fun.Name)
 		if fd, ok := g.Funcs[callee]; ok && fd.Recv == nil {
-			return callee, true
+			return []FuncID{callee}
 		}
+		// A call through a function-valued variable or parameter:
+		// every named function the package ever binds to it.
+		return g.funcVars[id][fun.Name]
 	case *ast.SelectorExpr:
 		b := g.Bindings(id)
 		switch x := fun.X.(type) {
 		case *ast.Ident:
 			if typ, ok := b[x.Name]; ok {
-				if callee := MethodID(typ, fun.Sel.Name); g.Funcs[callee] != nil {
-					return callee, true
-				}
+				return g.methodTargets(typ, fun.Sel.Name)
 			}
 		case *ast.SelectorExpr:
-			// One level of field indirection: base.field.Method().
+			// One level of field indirection: base.field.Method() or a
+			// call through a function-valued field base.field.cb().
 			base, ok := x.X.(*ast.Ident)
 			if !ok {
 				break
@@ -413,12 +814,32 @@ func (g *Graph) Resolve(id FuncID, call *ast.CallExpr) (FuncID, bool) {
 			if !ok || strings.Contains(ft, ".") {
 				break
 			}
-			if callee := MethodID(ft, fun.Sel.Name); g.Funcs[callee] != nil {
-				return callee, true
-			}
+			return g.methodTargets(ft, fun.Sel.Name)
 		}
 	}
-	return "", false
+	return nil
+}
+
+// methodTargets resolves a method-shaped call typ.name: the concrete
+// method if typ declares one, otherwise the interface fan-out if typ is
+// a local interface, otherwise any functions bound to a func-valued
+// field typ.name.
+func (g *Graph) methodTargets(typ, name string) []FuncID {
+	if callee := MethodID(typ, name); g.Funcs[callee] != nil {
+		return []FuncID{callee}
+	}
+	if impls, ok := g.Implementers[typ]; ok {
+		var out []FuncID
+		for _, impl := range impls {
+			if m := MethodID(impl, name); g.Funcs[m] != nil {
+				out = append(out, m)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return g.fieldFuncs[typ][name]
 }
 
 // resolveCalls walks fd's body recording resolved edges with their
@@ -431,8 +852,10 @@ func (g *Graph) resolveCalls(id FuncID, fd *ast.FuncDecl) {
 			case *ast.GoStmt:
 				if lit, ok := c.Call.Fun.(*ast.FuncLit); ok {
 					walk(lit.Body, Spawn)
-				} else if callee, ok := g.Resolve(id, c.Call); ok {
-					g.Edges = append(g.Edges, Edge{Caller: id, Callee: callee, Kind: Spawn, Pos: c.Call.Pos()})
+				} else {
+					for _, callee := range g.ResolveAll(id, c.Call) {
+						g.Edges = append(g.Edges, Edge{Caller: id, Callee: callee, Kind: Spawn, Pos: c.Call.Pos()})
+					}
 				}
 				// Argument expressions evaluate on the caller's goroutine,
 				// but any call among them is vanishingly rare; skip the
@@ -446,7 +869,7 @@ func (g *Graph) resolveCalls(id FuncID, fd *ast.FuncDecl) {
 				walk(c.Body, next)
 				return false
 			case *ast.CallExpr:
-				if callee, ok := g.Resolve(id, c); ok {
+				for _, callee := range g.ResolveAll(id, c) {
 					g.Edges = append(g.Edges, Edge{Caller: id, Callee: callee, Kind: kind, Pos: c.Pos()})
 				}
 			}

@@ -168,3 +168,140 @@ func TestEdgesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+const devirtSrc = `package cgfix
+
+type Policy interface {
+	Score(x int) int
+	Reset()
+}
+
+type Greedy struct{}
+
+func (g *Greedy) Score(x int) int { return x }
+func (g *Greedy) Reset()          {}
+
+type Fair struct{}
+
+func (f *Fair) Score(x int) int { return -x }
+func (f *Fair) Reset()          {}
+
+// Partial has the right names but the wrong Score arity: not an
+// implementer.
+type Partial struct{}
+
+func (p *Partial) Score() int { return 0 }
+func (p *Partial) Reset()     {}
+
+// Tainted embeds a cross-package interface: dropped entirely.
+type Tainted interface {
+	Policy
+	fmtStringer
+}
+
+type Scorer interface{ Score(x int) int }
+
+type Runner struct {
+	p  Policy
+	cb func()
+}
+
+func Apply(p Policy, x int) int {
+	p.Reset()
+	return p.Score(x)
+}
+
+func (r *Runner) Drive() int { return r.p.Score(1) }
+
+func onTick() {}
+
+func Register(r *Runner) {
+	r.cb = onTick
+	f := onTick
+	f()
+	run(onTick)
+}
+
+func run(cb func()) { cb() }
+
+func (r *Runner) Fire() { r.cb() }
+`
+
+func buildDevirt(t *testing.T) *Graph {
+	t.Helper()
+	return Build(parsePkg(t, devirtSrc))
+}
+
+// TestImplementers checks CHA matching: name+arity method sets, the
+// arity mismatch exclusion, and subset interfaces matching supersets.
+func TestImplementers(t *testing.T) {
+	g := buildDevirt(t)
+	wantPolicy := []string{"Fair", "Greedy"}
+	if got := g.Implementers["Policy"]; len(got) != 2 || got[0] != wantPolicy[0] || got[1] != wantPolicy[1] {
+		t.Errorf("Implementers[Policy] = %v, want %v", got, wantPolicy)
+	}
+	for _, impl := range g.Implementers["Policy"] {
+		if impl == "Partial" {
+			t.Error("Partial matches Policy despite the Score arity mismatch")
+		}
+	}
+	// Scorer's single method is satisfied by both concrete types too.
+	if got := g.Implementers["Scorer"]; len(got) != 2 {
+		t.Errorf("Implementers[Scorer] = %v, want both concrete types", got)
+	}
+	if _, ok := g.Interfaces["Tainted"]; ok {
+		t.Error("Tainted embeds an unresolvable interface and must be dropped")
+	}
+	if got := g.Interfaces["Policy"]; len(got) != 2 || got[0] != "Reset" || got[1] != "Score" {
+		t.Errorf("Interfaces[Policy] = %v, want [Reset Score]", got)
+	}
+}
+
+// TestDevirtEdges checks that interface calls fan out to every
+// implementer, through parameters and one field indirection alike.
+func TestDevirtEdges(t *testing.T) {
+	g := buildDevirt(t)
+	count := func(caller, callee FuncID) int {
+		n := 0
+		for _, e := range g.Callees[caller] {
+			if e.Callee == callee {
+				n++
+			}
+		}
+		return n
+	}
+	// Apply: p.Reset() and p.Score(x) each fan out to Greedy and Fair.
+	for _, callee := range []FuncID{"Greedy.Score", "Fair.Score", "Greedy.Reset", "Fair.Reset"} {
+		if got := count("Apply", callee); got != 1 {
+			t.Errorf("edges Apply -> %s: got %d, want 1", callee, got)
+		}
+	}
+	// Drive: r.p.Score(1) — interface behind one field indirection.
+	if count("Runner.Drive", "Greedy.Score") != 1 || count("Runner.Drive", "Fair.Score") != 1 {
+		t.Errorf("Runner.Drive edges = %v, want devirtualized Score fan-out", g.Callees["Runner.Drive"])
+	}
+}
+
+// TestFuncValueEdges checks the flow-insensitive function-value
+// bindings: locals, struct fields, and resolved call arguments.
+func TestFuncValueEdges(t *testing.T) {
+	g := buildDevirt(t)
+	count := func(caller, callee FuncID) int {
+		n := 0
+		for _, e := range g.Callees[caller] {
+			if e.Callee == callee {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("Register", "onTick"); got != 1 {
+		t.Errorf("f := onTick; f() edges = %d, want 1", got)
+	}
+	if got := count("run", "onTick"); got != 1 {
+		t.Errorf("run(onTick) must bind run's parameter: edges run -> onTick = %d, want 1", got)
+	}
+	if got := count("Runner.Fire", "onTick"); got != 1 {
+		t.Errorf("r.cb = onTick must bind the field: edges Runner.Fire -> onTick = %d, want 1", got)
+	}
+}

@@ -1,0 +1,386 @@
+// Package chandisc checks channel close discipline. Closing is the
+// dangerous half of a channel's life: a second close panics, a send on
+// a closed channel panics, and both failures happen at the victim, far
+// from the goroutine that closed too early. Two layers of checking:
+//
+//   - ownership: the '// owned by <method>' annotation, extended from
+//     the owned analyzer to channel-typed fields, names the one method
+//     allowed to close the channel:
+//
+//     stopCh chan struct{} // owned by Close
+//
+//     A close of an annotated channel field anywhere but the owner's
+//     own body — another function, or a go statement's function literal
+//     even inside the owner — is a finding. Sends and receives are not
+//     restricted: receiving from a quit channel inside the goroutines
+//     it stops is the entire point of the pattern.
+//
+//   - per-path close state, for every channel spelled consistently
+//     within a function (annotated or not): a flow-sensitive may-closed
+//     fact over the CFG flags a close that may follow another close
+//     (double close) and a send that may follow a close (send on closed
+//     channel). Function literals are separate analysis units — their
+//     bodies run at call time, not inline. Deferred closes are judged
+//     lexically instead: two deferred closes of the same channel, or a
+//     deferred close alongside a plain close, both panic at return.
+//
+// Like the rest of the suite this under-approximates: channels reached
+// through expressions the syntax cannot name (map lookups, calls,
+// channels of channels) are invisible, and a close the analysis cannot
+// see never counts against a later send.
+package chandisc
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/callgraph"
+	"unitdb/internal/lint/cfg"
+	"unitdb/internal/lint/dataflow"
+	"unitdb/internal/lint/lockstate"
+	"unitdb/internal/lint/owned"
+	"unitdb/internal/lint/summary"
+)
+
+// Analyzer is the chandisc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "chandisc",
+	Doc:  "channel close discipline: only the '// owned by' owner closes; no double close; no send after close",
+	Run:  run,
+}
+
+// ChanOwners maps struct type → channel field name → owning method.
+type ChanOwners map[string]map[string]string
+
+// CollectChanOwners finds '// owned by' annotated channel-typed fields
+// (the complement of owned.CollectOwned, which skips them).
+func CollectChanOwners(files []*ast.File) ChanOwners {
+	o := ChanOwners{}
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if _, isChan := field.Type.(*ast.ChanType); !isChan {
+					continue
+				}
+				owner := owned.OwnerAnnotation(field)
+				if owner == "" {
+					continue
+				}
+				m := o[ts.Name.Name]
+				if m == nil {
+					m = map[string]string{}
+					o[ts.Name.Name] = m
+				}
+				for _, name := range field.Names {
+					m[name.Name] = owner
+				}
+			}
+			return true
+		})
+	}
+	return o
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	g      *callgraph.Graph
+	owners ChanOwners
+	seen   map[string]bool // finding dedupe across merged paths
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:   pass,
+		g:      summary.Of(pass.Pkg).Graph,
+		owners: CollectChanOwners(pass.Pkg.Files),
+		seen:   map[string]bool{},
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := callgraph.DeclID(fd)
+			c.checkOwnership(fn, fd)
+			c.checkUnit(fn, fd.Body)
+			c.checkDefers(fn, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkUnit(fn, lit.Body)
+					c.checkDefers(fn, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// closeTarget returns the operand of a close(...) call, or nil.
+func closeTarget(n ast.Node) ast.Expr {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+		return call.Args[0]
+	}
+	return nil
+}
+
+// fieldOwner resolves expr to an annotated channel field, returning the
+// owning method's FuncID and the field's display name.
+func (c *checker) fieldOwner(fn callgraph.FuncID, e ast.Expr) (callgraph.FuncID, string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	typ, ok := c.g.Bindings(fn)[base.Name]
+	if !ok {
+		return "", "", false
+	}
+	owner, ok := c.owners[typ][sel.Sel.Name]
+	if !ok {
+		return "", "", false
+	}
+	return callgraph.MethodID(typ, owner), "(" + typ + ")." + sel.Sel.Name, true
+}
+
+// checkOwnership walks fd lexically: a close of an annotated channel
+// belongs in the owner's plain body and nowhere else.
+func (c *checker) checkOwnership(fn callgraph.FuncID, fd *ast.FuncDecl) {
+	var walk func(n ast.Node, inSpawnedLit bool)
+	walk = func(n ast.Node, inSpawnedLit bool) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.GoStmt:
+				if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+					return false
+				}
+				return true
+			case *ast.FuncLit:
+				walk(node.Body, inSpawnedLit)
+				return false
+			case *ast.CallExpr:
+				target := closeTarget(node)
+				if target == nil {
+					return true
+				}
+				ownerID, name, ok := c.fieldOwner(fn, target)
+				if !ok {
+					return true
+				}
+				if inSpawnedLit {
+					c.report(node.Pos(),
+						name+" is closed inside a go statement's function literal, but only its owner "+
+							string(ownerID)+" may close it")
+					return true
+				}
+				if fn != ownerID {
+					c.report(node.Pos(),
+						name+" is closed in "+string(fn)+", but only its owner "+
+							string(ownerID)+" may close it")
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+}
+
+// chanKey names a channel expression within one function: the flattened
+// selector chain as written ("ch", "s.stopCh"), like lockstate mutex
+// keys — honest about aliasing, consistent spelling assumed.
+func chanKey(e ast.Expr) string { return lockstate.Flatten(e) }
+
+// fact maps channel key → may-closed on some path into this point.
+type fact map[string]bool
+
+func (f fact) Equal(o dataflow.Fact) bool {
+	g := o.(fact)
+	if len(f) != len(g) {
+		return false
+	}
+	for k, v := range f {
+		if g[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func join(a, b dataflow.Fact) dataflow.Fact {
+	fa, fb := a.(fact), b.(fact)
+	out := fa.clone()
+	for k, v := range fb {
+		out[k] = out[k] || v
+	}
+	return out
+}
+
+// nodeCloses lists the channel keys closed by one CFG node, in source
+// order, skipping deferred closes (they run at return) and function
+// literals and go statements (separate execution contexts).
+func nodeCloses(n ast.Node) []struct {
+	key string
+	pos token.Pos
+} {
+	var out []struct {
+		key string
+		pos token.Pos
+	}
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return nil
+	}
+	cfg.Walk(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.GoStmt); ok {
+			return false
+		}
+		if target := closeTarget(c); target != nil {
+			if key := chanKey(target); key != "" {
+				out = append(out, struct {
+					key string
+					pos token.Pos
+				}{key, c.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func transfer(n ast.Node, f dataflow.Fact) dataflow.Fact {
+	closes := nodeCloses(n)
+	if len(closes) == 0 {
+		return f
+	}
+	out := f.(fact).clone()
+	for _, cl := range closes {
+		out[cl.key] = true
+	}
+	return out
+}
+
+// checkUnit solves may-closed over one body and replays it, reporting
+// double closes and sends after a close.
+func (c *checker) checkUnit(fn callgraph.FuncID, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := dataflow.Solve(g, &dataflow.Analysis{
+		Entry:    fact{},
+		Join:     join,
+		Transfer: transfer,
+	})
+	for _, b := range g.Blocks {
+		in := res.In[b.Index]
+		if in == nil && b.Index != 0 {
+			continue // unreachable
+		}
+		f := fact{}
+		if in != nil {
+			f = in.(fact)
+		}
+		for _, node := range b.Nodes {
+			c.checkNode(node, f)
+			f = transfer(node, f).(fact)
+		}
+	}
+}
+
+func (c *checker) checkNode(node ast.Node, f fact) {
+	if send, ok := node.(*ast.SendStmt); ok {
+		if key := chanKey(send.Chan); key != "" && f[key] {
+			c.report(send.Pos(),
+				"send on "+key+" is reachable after close("+key+") (send on closed channel panics)")
+		}
+		return
+	}
+	for _, cl := range nodeCloses(node) {
+		if f[cl.key] {
+			c.report(cl.pos,
+				"close("+cl.key+") may follow an earlier close on this path (double close panics)")
+		}
+		f = f.clone()
+		f[cl.key] = true
+	}
+}
+
+// checkDefers judges deferred closes lexically within one body (not
+// descending into nested literals): two deferred closes of one channel,
+// or a deferred close alongside any plain close, double-close at return.
+func (c *checker) checkDefers(fn callgraph.FuncID, body *ast.BlockStmt) {
+	deferred := map[string]token.Pos{}
+	plain := map[string]bool{}
+	var order []string
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				if target := closeTarget(node.Call); target != nil {
+					if key := chanKey(target); key != "" {
+						if p, ok := deferred[key]; ok {
+							c.report(node.Pos(),
+								"second deferred close("+key+") in one function (double close at return); first at "+
+									c.pass.Pkg.Fset.Position(p).String())
+						} else {
+							deferred[key] = node.Pos()
+							order = append(order, key)
+						}
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if target := closeTarget(node); target != nil {
+					if key := chanKey(target); key != "" {
+						plain[key] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(body)
+	sort.Strings(order)
+	for _, key := range order {
+		if plain[key] {
+			c.report(deferred[key],
+				"deferred close("+key+") alongside a plain close in the same function (double close at return)")
+		}
+	}
+}
+
+func (c *checker) report(pos token.Pos, msg string) {
+	key := c.pass.Pkg.Fset.Position(pos).String() + "|" + msg
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}

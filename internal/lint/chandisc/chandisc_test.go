@@ -1,0 +1,88 @@
+package chandisc
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "unitdb/internal/chfix")
+}
+
+// TestMutationDoubleClose is the seeded mutation check: duplicating the
+// close(s.stopCh) in Server.Close — the kind of slip a merge conflict
+// resolution produces — must yield exactly one double-close finding on
+// the real server source. Both closes sit in the annotated owner, so
+// the ownership rule stays quiet and the path rule alone catches it.
+func TestMutationDoubleClose(t *testing.T) {
+	src := readServerGo(t)
+	mutated := strings.Replace(src,
+		"\tclose(s.stopCh)\n",
+		"\tclose(s.stopCh)\n\tclose(s.stopCh)\n", 1)
+	if mutated == src {
+		t.Fatal("mutation had no effect; did internal/server/server.go change shape?")
+	}
+
+	diags := runOnSource(t, mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "may follow an earlier close on this path") {
+		t.Errorf("finding is not a double-close report: %s", diags[0])
+	}
+}
+
+// TestUnmutatedServerIsClean pins the baseline the mutation test depends
+// on: the real file alone must produce no chandisc findings.
+func TestUnmutatedServerIsClean(t *testing.T) {
+	if diags := runOnSource(t, readServerGo(t)); len(diags) != 0 {
+		t.Fatalf("unexpected findings on pristine server.go:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
+func readServerGo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "server", "server.go")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading real source: %v", err)
+	}
+	return string(b)
+}
+
+// runOnSource applies the analyzer to one in-memory file.
+func runOnSource(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "server.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &analysis.Package{
+		Path:  "unitdb/internal/server",
+		Name:  file.Name.Name,
+		Fset:  fset,
+		Files: []*ast.File{file},
+	}
+	var diags []analysis.Diagnostic
+	if err := Analyzer.Run(analysis.NewPass(Analyzer, pkg, &diags)); err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if !analysis.Suppressed(pkg, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,85 @@
+// Package chfix exercises the chandisc analyzer: channel close
+// ownership via '// owned by', double close and send-after-close over
+// CFG paths, deferred-close accounting, and the clean patterns that
+// must stay silent.
+package chfix
+
+type Worker struct {
+	quit chan struct{} // owned by Stop
+	out  chan int
+}
+
+// Stop is the annotated owner: its close is the sanctioned one.
+func (w *Worker) Stop() {
+	close(w.quit)
+}
+
+// Restart closes a channel it does not own.
+func (w *Worker) Restart() {
+	close(w.quit) // want `\(Worker\)\.quit is closed in Worker\.Restart, but only its owner Worker\.Stop may close it`
+	w.quit = make(chan struct{})
+}
+
+// StopAsync closes from a spawned goroutine — even the owner may not do
+// that: the close must happen on the owner's own goroutine.
+func (w *Worker) StopAsync() {
+	go func() {
+		close(w.quit) // want `\(Worker\)\.quit is closed inside a go statement's function literal`
+	}()
+}
+
+// loop receives from the quit channel inside the goroutine it stops:
+// the normal pattern, never a finding.
+func (w *Worker) loop() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case v := <-w.out:
+			_ = v
+		}
+	}
+}
+
+func doubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want `close\(ch\) may follow an earlier close on this path \(double close panics\)`
+}
+
+func sendAfterClose(ch chan int) {
+	close(ch)
+	ch <- 1 // want `send on ch is reachable after close\(ch\) \(send on closed channel panics\)`
+}
+
+// branchClose closes on each arm but never twice on one path: clean.
+func branchClose(ch chan int, b bool) {
+	if b {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+// sendThenClose is the correct order: clean.
+func sendThenClose(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+func deferredTwice(ch chan int) {
+	defer close(ch)
+	defer close(ch) // want `second deferred close\(ch\) in one function \(double close at return\)`
+}
+
+func deferredPlusPlain(ch chan int) {
+	defer close(ch) // want `deferred close\(ch\) alongside a plain close in the same function \(double close at return\)`
+	close(ch)
+}
+
+// closeInLiteral: the literal is its own unit; one close per unit is
+// clean even though the enclosing function also closes its own channel.
+func closeInLiteral() func() {
+	done := make(chan struct{})
+	f := func() { close(done) }
+	return f
+}

@@ -137,19 +137,17 @@ func (c *checker) checkCalls(fn callgraph.FuncID, node ast.Node, fact lockstate.
 		if !ok {
 			return true
 		}
-		callee, ok := c.sum.Graph.Resolve(fn, call)
-		if !ok {
-			return true
-		}
-		for _, acq := range c.sum.Acquires[callee] {
-			if contains(held, acq) {
-				c.report(call.Pos(), fmt.Sprintf(
-					"call to %s acquires %s, which is already held at this call (deadlock)",
-					callee, acq))
-				continue
-			}
-			for _, h := range held {
-				c.addEdge(h, acq, call.Pos())
+		for _, callee := range c.sum.Graph.ResolveAll(fn, call) {
+			for _, acq := range c.sum.Acquires[callee] {
+				if contains(held, acq) {
+					c.report(call.Pos(), fmt.Sprintf(
+						"call to %s acquires %s, which is already held at this call (deadlock)",
+						callee, acq))
+					continue
+				}
+				for _, h := range held {
+					c.addEdge(h, acq, call.Pos())
+				}
 			}
 		}
 		return true

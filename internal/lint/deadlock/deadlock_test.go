@@ -40,6 +40,67 @@ func TestMutationWrapperReacquire(t *testing.T) {
 	}
 }
 
+// ifaceSrc is clean: drain holds the lock and calls the Locked-suffix
+// accessor directly. The snapshotter interface's only implementer is
+// metrics, so a call through it devirtualizes to metrics.Snapshot.
+const ifaceSrc = `package server
+
+import "sync"
+
+type metrics struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (m *metrics) Snapshot() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+func (m *metrics) snapshotLocked() int { return m.n }
+
+type snapshotter interface{ Snapshot() int }
+
+func drain(m *metrics, s snapshotter) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotLocked()
+}
+`
+
+// TestMutationInterfaceReacquire swaps drain's direct Locked-suffix call
+// for a call through the interface. Before devirtualization the call
+// s.Snapshot() had no edge and the mutation was invisible; now it must
+// produce exactly one re-acquisition finding naming the devirtualized
+// callee.
+func TestMutationInterfaceReacquire(t *testing.T) {
+	mutated := strings.Replace(ifaceSrc,
+		"return m.snapshotLocked()",
+		"return s.Snapshot()", 1)
+	if mutated == ifaceSrc {
+		t.Fatal("mutation had no effect")
+	}
+
+	diags := runOnSource(t, mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "call to metrics.Snapshot acquires (metrics).mu, which is already held") {
+		t.Errorf("finding does not name the devirtualized callee: %s", diags[0])
+	}
+}
+
+// TestUnmutatedInterfaceSourceIsClean pins the baseline the interface
+// mutation test depends on.
+func TestUnmutatedInterfaceSourceIsClean(t *testing.T) {
+	if diags := runOnSource(t, ifaceSrc); len(diags) != 0 {
+		t.Fatalf("unexpected findings on clean interface source:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
 // TestUnmutatedServerIsClean pins the baseline the mutation test depends
 // on: the real file alone must produce no deadlock findings.
 func TestUnmutatedServerIsClean(t *testing.T) {

@@ -90,3 +90,52 @@ func (s *Store) spawnStats() {
 	defer s.mu.Unlock()
 	go s.Stats()
 }
+
+// --- interface-mediated cases: before devirtualization the calls below
+// had no edge and every finding here was invisible. ---
+
+var muE sync.Mutex
+
+// Prober is implemented by FastProbe and SlowProbe (matched by method
+// name and arity); a call through it fans out to both.
+type Prober interface{ Probe() }
+
+type FastProbe struct{}
+
+func (FastProbe) Probe() { muE.Lock(); muE.Unlock() }
+
+type SlowProbe struct{}
+
+func (SlowProbe) Probe() { muE.Lock(); muE.Unlock() }
+
+// holdAndProbe calls through the interface while holding the very mutex
+// every implementer acquires: one finding per devirtualized callee.
+func holdAndProbe(p Prober) {
+	muE.Lock()
+	p.Probe() // want 2:`acquires \(pkg\)\.muE, which is already held at this call \(deadlock\)`
+	muE.Unlock()
+}
+
+var muF, muG sync.Mutex
+
+type Stepper interface{ Step() }
+
+type GStep struct{}
+
+func (GStep) Step() { muG.Lock(); muG.Unlock() }
+
+// cycleViaIface holds muF across an interface call whose only
+// implementer acquires muG; stepBack holds muG and takes muF directly.
+// The cycle exists only through the devirtualized edge.
+func cycleViaIface(s Stepper) {
+	muF.Lock()
+	s.Step() // want `lock order cycle: \(pkg\)\.muF -> \(pkg\)\.muG -> \(pkg\)\.muF`
+	muF.Unlock()
+}
+
+func stepBack() {
+	muG.Lock()
+	muF.Lock()
+	muF.Unlock()
+	muG.Unlock()
+}

@@ -41,6 +41,60 @@ func TestMutationSortRemoved(t *testing.T) {
 	}
 }
 
+// ifaceSrc is clean: Dump sorts the keys it gets through the lister
+// interface, whose only implementer (table) ranges its map field.
+const ifaceSrc = `package metrics
+
+import "sort"
+
+type lister interface{ keys() []string }
+
+type table struct{ m map[string]int }
+
+func (t *table) keys() []string {
+	var out []string
+	for k := range t.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Dump(l lister) []string {
+	ks := l.keys()
+	sort.Strings(ks)
+	return ks
+}
+`
+
+// TestMutationInterfaceSortRemoved deletes Dump's sort. The taint
+// reaches Dump's return only through the devirtualized l.keys() edge
+// and table.keys' MapOrdered summary — before devirtualization this
+// mutation was invisible.
+func TestMutationInterfaceSortRemoved(t *testing.T) {
+	mutated := strings.Replace(ifaceSrc, "\tsort.Strings(ks)\n", "", 1)
+	if mutated == ifaceSrc {
+		t.Fatal("mutation had no effect")
+	}
+
+	diags := runOnSource(t, mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "return value of exported Dump") {
+		t.Errorf("finding is not an exported-return report: %s", diags[0])
+	}
+}
+
+// TestUnmutatedInterfaceSourceIsClean pins the baseline the interface
+// mutation test depends on.
+func TestUnmutatedInterfaceSourceIsClean(t *testing.T) {
+	if diags := runOnSource(t, ifaceSrc); len(diags) != 0 {
+		t.Fatalf("unexpected findings on clean interface source:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
 // TestUnmutatedMetricsIsClean pins the baseline the mutation test
 // depends on: the real file alone must produce no maporder findings.
 func TestUnmutatedMetricsIsClean(t *testing.T) {

@@ -51,6 +51,10 @@ var ownedRE = regexp.MustCompile(`(?i)owned by ([A-Za-z_][A-Za-z0-9_]*)`)
 type Owned map[string]map[string]string
 
 // CollectOwned finds "owned by" annotated fields across the package.
+// Channel-typed fields are excluded: for a channel, "owned by" names
+// who may close it (the chandisc analyzer's discipline), not who may
+// communicate over it — receives from a quit channel inside the very
+// goroutines it stops are the normal pattern, not a violation.
 func CollectOwned(files []*ast.File) Owned {
 	o := Owned{}
 	for _, file := range files {
@@ -64,7 +68,10 @@ func CollectOwned(files []*ast.File) Owned {
 				return true
 			}
 			for _, field := range st.Fields.List {
-				owner := ownerAnnotation(field)
+				if _, isChan := field.Type.(*ast.ChanType); isChan {
+					continue
+				}
+				owner := OwnerAnnotation(field)
 				if owner == "" {
 					continue
 				}
@@ -83,7 +90,10 @@ func CollectOwned(files []*ast.File) Owned {
 	return o
 }
 
-func ownerAnnotation(field *ast.Field) string {
+// OwnerAnnotation extracts the "owned by <name>" owner from a struct
+// field's doc or trailing comment ("" when unannotated). Shared with
+// chandisc, which applies the same grammar to channel fields.
+func OwnerAnnotation(field *ast.Field) string {
 	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
 		if cg == nil {
 			continue

@@ -57,6 +57,56 @@ func TestMutationSpawnedTouch(t *testing.T) {
 	}
 }
 
+// ifaceSrc is clean: poll calls through the ticker interface, whose only
+// implementer is Engine, but poll itself runs on an unknown goroutine.
+const ifaceSrc = `package engine
+
+type ticker interface{ Tick() }
+
+type Engine struct {
+	seq int64 // owned by Run
+}
+
+func (e *Engine) Run()  {}
+func (e *Engine) Tick() { e.seq++ }
+
+func boot(e *Engine, t ticker) {
+	go e.Run()
+	poll(t)
+}
+
+func poll(t ticker) { t.Tick() }
+`
+
+// TestMutationInterfaceSpawn spawns poll on its own goroutine. The
+// violating access sits in Engine.Tick, reachable from the spawn root
+// only through the devirtualized t.Tick() edge — before devirtualization
+// this mutation was invisible.
+func TestMutationInterfaceSpawn(t *testing.T) {
+	mutated := strings.Replace(ifaceSrc, "\tpoll(t)", "\tgo poll(t)", 1)
+	if mutated == ifaceSrc {
+		t.Fatal("mutation had no effect")
+	}
+
+	diags := runOnSource(t, mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "Engine.Tick is reachable from spawned goroutine poll") {
+		t.Errorf("finding does not trace through the devirtualized edge: %s", diags[0])
+	}
+}
+
+// TestUnmutatedInterfaceSourceIsClean pins the baseline the interface
+// mutation test depends on.
+func TestUnmutatedInterfaceSourceIsClean(t *testing.T) {
+	if diags := runOnSource(t, ifaceSrc); len(diags) != 0 {
+		t.Fatalf("unexpected findings on clean interface source:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
 // TestUnmutatedEngineIsClean pins the baseline the mutation tests depend
 // on: the real file, annotations and all, must produce no owned findings.
 func TestUnmutatedEngineIsClean(t *testing.T) {

@@ -460,8 +460,10 @@ func (u *TaintUnit) ExprTainted(f Taint, e ast.Expr) bool {
 			}
 			return false
 		}
-		if callee, ok := u.Summary.Graph.Resolve(u.Fn, e); ok {
-			return u.Summary.MapOrdered[callee]
+		for _, callee := range u.Summary.Graph.ResolveAll(u.Fn, e) {
+			if u.Summary.MapOrdered[callee] {
+				return true
+			}
 		}
 	}
 	return false

@@ -1,0 +1,40 @@
+package unitlint
+
+import (
+	"testing"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/loader"
+)
+
+// BenchmarkUnitlintAnalyzers times each analyzer in the suite over the
+// two busiest runtime packages (internal/engine and internal/server),
+// loaded once outside the timed region. The per-analyzer ns/op feed
+// BENCH_baseline.json, so a lint pass that suddenly goes quadratic —
+// e.g. a devirtualization change that explodes the call graph — trips
+// the bench-check gate rather than quietly doubling CI time.
+// Interprocedural analyzers share the per-package summary cache exactly
+// as they do in a real run, so the first iteration pays the build and
+// the amortized cost is what CI experiences.
+func BenchmarkUnitlintAnalyzers(b *testing.B) {
+	pkgs, err := loader.Load("../../..", []string{"./internal/engine", "./internal/server"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		b.Fatal("loader matched no packages")
+	}
+	for _, a := range Analyzers {
+		b.Run(a.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, pkg := range pkgs {
+					var diags []analysis.Diagnostic
+					if err := a.Run(analysis.NewPass(a, pkg, &diags)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+// Package wgfix exercises the wgsafe analyzer: Add inside the spawned
+// goroutine it guards, Add after Wait, Done outrunning Add on a path,
+// and the idiomatic patterns that must stay silent.
+package wgfix
+
+import "sync"
+
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+// Start is the idiom: Add on the parent goroutine, before the spawn.
+func (p *Pool) Start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+}
+
+// run balances an Add its caller made: a bare deferred Done is never a
+// finding.
+func (p *Pool) run() { defer p.wg.Done() }
+
+// BadStart races the Add against a concurrent Wait.
+func (p *Pool) BadStart() {
+	go func() {
+		p.wg.Add(1) // want `\(Pool\)\.wg\.Add\(\) inside the spawned goroutine it guards races the parent's Wait\(\)`
+		p.run()
+	}()
+}
+
+// Reuse Adds again after Wait on the same group in one function.
+func (p *Pool) Reuse() {
+	p.wg.Add(1)
+	go p.run()
+	p.wg.Wait()
+	p.wg.Add(1) // want `\(Pool\)\.wg\.Add\(\) after \(Pool\)\.wg\.Wait\(\) in the same function \(WaitGroup reuse race\)`
+	go p.run()
+	p.wg.Wait()
+}
+
+// overDone drives the counter negative on the only path.
+func overDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done() // want `wg\.Done\(\) exceeds this path's Add\(\) calls \(negative WaitGroup counter panics\)`
+}
+
+// branchDone is balanced on every path: clean.
+func branchDone(b bool) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	wg.Done()
+	if b {
+		wg.Done()
+	}
+}
+
+// literalLocal declares the group inside the spawned literal: the
+// literal is the parent then, and its Add is ordered by program order.
+func literalLocal() {
+	go func() {
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() { inner.Done() }()
+		inner.Wait()
+	}()
+}
+
+// helper takes the group by pointer; its deferred Done balances the
+// caller's Add (deferred ops are skipped, callers are not judged).
+func helper(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// notAWaitGroup: Add/Done on something else never matches — the
+// receiver's declared type, not the method name, selects the key.
+type counter struct{ n int }
+
+func (c *counter) Add(d int) { c.n += d }
+
+func bumpInsideGo(c *counter) {
+	go func() {
+		c.Add(1)
+	}()
+}

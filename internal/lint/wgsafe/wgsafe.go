@@ -1,0 +1,452 @@
+// Package wgsafe checks sync.WaitGroup discipline. The type's contract
+// has three classic violations, all invisible to the race detector
+// until a run happens to lose the race:
+//
+//   - Add inside the spawned goroutine it guards: `go func() {
+//     wg.Add(1); ... }()` races Add against the parent's Wait — if Wait
+//     runs first it sees a zero counter and returns before the work
+//     exists. Add must happen before the go statement. A WaitGroup
+//     declared inside the literal itself is exempt: the literal is its
+//     parent then, and ordering within one goroutine is program order.
+//
+//   - Add after Wait on the same group within one function: reusing a
+//     WaitGroup for a second round of goroutines while the first Wait
+//     may still be returning is the documented misuse of Add ("must
+//     happen before a Wait", reuse requires all previous Waits to have
+//     returned). Flagged path-sensitively with the same must-lattice
+//     style as locksafe.
+//
+//   - Done without a matching Add on some path: a path whose statically
+//     visible Done calls outnumber its Adds drives the counter negative
+//     and panics. Only functions that call Add themselves are judged —
+//     a bare `defer wg.Done()` in a worker balances an Add the caller
+//     made, which is the idiom, not a bug. Deferred operations are
+//     skipped entirely (they run at return, where path state differs),
+//     and function literals are separate analysis units.
+//
+// WaitGroups are recognized by declared type: struct fields whose type
+// flattens to sync.WaitGroup (keyed "(T).wg" package-wide) and locals
+// or parameters declared sync.WaitGroup / *sync.WaitGroup (keyed by
+// name). A method named Add/Done/Wait on anything else — a metrics
+// counter, an atomic — never matches, because the receiver's type, not
+// the method name, selects the key. Unresolvable receivers contribute
+// nothing: the analysis under-approximates like the rest of the suite.
+package wgsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/callgraph"
+	"unitdb/internal/lint/cfg"
+	"unitdb/internal/lint/dataflow"
+	"unitdb/internal/lint/summary"
+)
+
+// Analyzer is the wgsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wgsafe",
+	Doc:  "WaitGroup discipline: Add before the go statement, never after Wait; Done balances Add on every path",
+	Run:  run,
+}
+
+// opKind is a WaitGroup operation.
+type opKind uint8
+
+const (
+	opAdd opKind = iota
+	opDone
+	opWait
+)
+
+// op is one WaitGroup operation at a position.
+type op struct {
+	kind opKind
+	key  string
+	n    uint8 // Add's increment, saturating at maxDelta; maxDelta if unknown
+	pos  token.Pos
+}
+
+// maxDelta saturates the tracked Add-Done balance: 3 means "three or
+// more", enough to keep loops finite while still catching a lone Done
+// against zero Adds.
+const maxDelta = 3
+
+// pathState is the state of one WaitGroup along one path.
+type pathState struct {
+	delta  uint8 // visible Adds minus Dones, saturating at maxDelta
+	added  bool  // an Add executed on this path
+	waited bool  // a Wait executed on this path
+}
+
+func (p pathState) index() uint {
+	i := uint(p.delta)
+	if p.added {
+		i |= 1 << 2
+	}
+	if p.waited {
+		i |= 1 << 3
+	}
+	return i
+}
+
+// stateSet is a set of pathStates as a bitmask (paths merge at joins).
+type stateSet uint16
+
+// entrySet is the state of an untouched WaitGroup.
+var entrySet = stateSet(0).add(pathState{})
+
+func (s stateSet) add(p pathState) stateSet { return s | 1<<p.index() }
+
+func (s stateSet) states() []pathState {
+	var out []pathState
+	for i := uint(0); i < 16; i++ {
+		if s&(1<<i) == 0 {
+			continue
+		}
+		out = append(out, pathState{
+			delta:  uint8(i & 3),
+			added:  i&(1<<2) != 0,
+			waited: i&(1<<3) != 0,
+		})
+	}
+	return out
+}
+
+// apply computes the successor of one path state under o, plus a problem
+// description ("" when clean). Like lockstate.Apply, the same function
+// drives the fixpoint transfer and the reporting replay.
+func apply(o op, p pathState) (pathState, string) {
+	switch o.kind {
+	case opAdd:
+		problem := ""
+		if p.waited {
+			problem = o.key + ".Add() after " + o.key + ".Wait() in the same function (WaitGroup reuse race)"
+		}
+		d := p.delta + o.n
+		if d > maxDelta {
+			d = maxDelta
+		}
+		return pathState{delta: d, added: true, waited: p.waited}, problem
+	case opDone:
+		if p.delta == maxDelta {
+			return p, "" // saturated: balance unknown, stay silent
+		}
+		if p.delta == 0 {
+			problem := ""
+			if p.added {
+				problem = o.key + ".Done() exceeds this path's Add() calls (negative WaitGroup counter panics)"
+			}
+			return p, problem
+		}
+		return pathState{delta: p.delta - 1, added: p.added, waited: p.waited}, ""
+	default: // opWait
+		return pathState{delta: p.delta, added: p.added, waited: true}, ""
+	}
+}
+
+// fact maps WaitGroup key → set of path states.
+type fact map[string]stateSet
+
+func (f fact) get(key string) stateSet {
+	if s, ok := f[key]; ok {
+		return s
+	}
+	return entrySet
+}
+
+func (f fact) Equal(o dataflow.Fact) bool {
+	g := o.(fact)
+	for k, v := range f {
+		if g.get(k) != v {
+			return false
+		}
+	}
+	for k, v := range g {
+		if f.get(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (f fact) clone() fact {
+	out := make(fact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func join(a, b dataflow.Fact) dataflow.Fact {
+	fa, fb := a.(fact), b.(fact)
+	out := fa.clone()
+	for k, v := range fb {
+		out[k] = out.get(k) | v
+	}
+	for k := range fa {
+		if _, ok := fb[k]; !ok {
+			out[k] |= entrySet
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass *analysis.Pass
+	g    *callgraph.Graph
+	seen map[string]bool // finding dedupe across merged paths
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, g: summary.Of(pass.Pkg).Graph, seen: map[string]bool{}}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := callgraph.DeclID(fd)
+			c.checkSpawnedAdds(fn, fd.Body)
+			c.checkUnit(fn, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkUnit(fn, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// wgKey resolves the receiver of a potential WaitGroup method call:
+// "(T).wg" for a field of evident struct type, the bare name for a
+// local or parameter declared sync.WaitGroup.
+func (c *checker) wgKey(fn callgraph.FuncID, e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if c.g.Bindings(fn)[x.Name] == "sync.WaitGroup" {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := x.X.(*ast.Ident)
+		if !ok {
+			break
+		}
+		typ, ok := c.g.Bindings(fn)[base.Name]
+		if !ok {
+			break
+		}
+		if c.g.FieldTypes[typ][x.Sel.Name] == "sync.WaitGroup" {
+			return "(" + typ + ")." + x.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// callOp classifies one call as a WaitGroup operation on a resolvable
+// key.
+func (c *checker) callOp(fn callgraph.FuncID, call *ast.CallExpr) (op, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return op{}, false
+	}
+	var kind opKind
+	switch sel.Sel.Name {
+	case "Add":
+		if len(call.Args) != 1 {
+			return op{}, false
+		}
+		kind = opAdd
+	case "Done":
+		if len(call.Args) != 0 {
+			return op{}, false
+		}
+		kind = opDone
+	case "Wait":
+		if len(call.Args) != 0 {
+			return op{}, false
+		}
+		kind = opWait
+	default:
+		return op{}, false
+	}
+	key, ok := c.wgKey(fn, sel.X)
+	if !ok {
+		return op{}, false
+	}
+	o := op{kind: kind, key: key, pos: call.Pos()}
+	if kind == opAdd {
+		o.n = maxDelta // unknown increment saturates
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.INT {
+			if v, err := strconv.Atoi(lit.Value); err == nil && v >= 0 && v < maxDelta {
+				o.n = uint8(v)
+			}
+		}
+	}
+	return o, true
+}
+
+// nodeOps extracts one CFG node's WaitGroup operations in source order,
+// skipping deferred calls (they run at return), go statements (the
+// spawned call runs elsewhere), and function literals (separate units).
+func (c *checker) nodeOps(fn callgraph.FuncID, n ast.Node) []op {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return nil
+	}
+	var ops []op
+	cfg.Walk(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.GoStmt); ok {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok {
+			if o, ok := c.callOp(fn, call); ok {
+				ops = append(ops, o)
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// checkUnit solves the lattice over one body and replays it for
+// reporting, locksafe-style.
+func (c *checker) checkUnit(fn callgraph.FuncID, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	transfer := func(n ast.Node, f dataflow.Fact) dataflow.Fact {
+		ops := c.nodeOps(fn, n)
+		if len(ops) == 0 {
+			return f
+		}
+		out := f.(fact).clone()
+		for _, o := range ops {
+			var next stateSet
+			for _, p := range out.get(o.key).states() {
+				np, _ := apply(o, p)
+				next = next.add(np)
+			}
+			out[o.key] = next
+		}
+		return out
+	}
+	res := dataflow.Solve(g, &dataflow.Analysis{
+		Entry:    fact{},
+		Join:     join,
+		Transfer: transfer,
+	})
+	for _, b := range g.Blocks {
+		in := res.In[b.Index]
+		if in == nil && b.Index != 0 {
+			continue // unreachable
+		}
+		f := fact{}
+		if in != nil {
+			f = in.(fact)
+		}
+		for _, node := range b.Nodes {
+			for _, o := range c.nodeOps(fn, node) {
+				var next stateSet
+				for _, p := range f.get(o.key).states() {
+					np, problem := apply(o, p)
+					if problem != "" {
+						c.report(o.pos, problem)
+					}
+					next = next.add(np)
+				}
+				f = f.clone()
+				f[o.key] = next
+			}
+		}
+	}
+}
+
+// checkSpawnedAdds flags Add calls lexically inside a go statement's
+// function literal when the group was declared outside that literal.
+// Each spawned literal is judged on its own: a nested spawned literal's
+// Adds are its own problem, not the outer's.
+func (c *checker) checkSpawnedAdds(fn callgraph.FuncID, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		declared := declaredNames(lit)
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(node ast.Node) bool {
+				if inner, ok := node.(*ast.GoStmt); ok {
+					if _, ok := inner.Call.Fun.(*ast.FuncLit); ok {
+						return false // judged as its own spawned literal
+					}
+					return true
+				}
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				o, ok := c.callOp(fn, call)
+				if !ok || o.kind != opAdd {
+					return true
+				}
+				if id, isIdent := call.Fun.(*ast.SelectorExpr).X.(*ast.Ident); isIdent && declared[id.Name] {
+					return true // the literal's own WaitGroup
+				}
+				c.report(o.pos,
+					o.key+".Add() inside the spawned goroutine it guards races the parent's Wait(); Add before the go statement")
+				return true
+			})
+		}
+		walk(lit.Body)
+		return true
+	})
+}
+
+// declaredNames collects every identifier the literal declares anywhere
+// in its body (var statements and short declarations), plus its
+// parameters.
+func declaredNames(lit *ast.FuncLit) map[string]bool {
+	out := map[string]bool{}
+	if lit.Type.Params != nil {
+		for _, p := range lit.Type.Params.List {
+			for _, n := range p.Names {
+				out[n.Name] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				out[name.Name] = true
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (c *checker) report(pos token.Pos, msg string) {
+	key := c.pass.Pkg.Fset.Position(pos).String() + "|" + msg
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.pass.Reportf(pos, "%s", msg)
+}

@@ -1,0 +1,87 @@
+package wgsafe
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unitdb/internal/lint/analysis"
+	"unitdb/internal/lint/analysistest"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "unitdb/internal/wgfix")
+}
+
+// TestMutationAddInsideGoroutine is the seeded mutation check: folding
+// New's wg.Add(1) into the spawned worker goroutine — a tempting
+// "simplification" that races Close's Wait — must produce exactly one
+// finding on the real server source.
+func TestMutationAddInsideGoroutine(t *testing.T) {
+	src := readServerGo(t)
+	mutated := strings.Replace(src,
+		"\t\ts.wg.Add(1)\n\t\tgo s.worker()",
+		"\t\tgo func() { s.wg.Add(1); s.worker() }()", 1)
+	if mutated == src {
+		t.Fatal("mutation had no effect; did internal/server/server.go change shape?")
+	}
+
+	diags := runOnSource(t, mutated)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s",
+			len(diags), analysistest.Fprint(diags))
+	}
+	if !strings.Contains(diags[0].Message, "inside the spawned goroutine it guards races the parent's Wait()") {
+		t.Errorf("finding is not a spawned-Add report: %s", diags[0])
+	}
+}
+
+// TestUnmutatedServerIsClean pins the baseline the mutation test depends
+// on: the real file alone must produce no wgsafe findings.
+func TestUnmutatedServerIsClean(t *testing.T) {
+	if diags := runOnSource(t, readServerGo(t)); len(diags) != 0 {
+		t.Fatalf("unexpected findings on pristine server.go:\n%s",
+			analysistest.Fprint(diags))
+	}
+}
+
+func readServerGo(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "server", "server.go")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading real source: %v", err)
+	}
+	return string(b)
+}
+
+// runOnSource applies the analyzer to one in-memory file.
+func runOnSource(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "server.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &analysis.Package{
+		Path:  "unitdb/internal/server",
+		Name:  file.Name.Name,
+		Fset:  fset,
+		Files: []*ast.File{file},
+	}
+	var diags []analysis.Diagnostic
+	if err := Analyzer.Run(analysis.NewPass(Analyzer, pkg, &diags)); err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if !analysis.Suppressed(pkg, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -49,7 +49,7 @@ var (
 // Counter is a monotonically increasing integer. Inc and Add are a single
 // atomic add; Value is a single atomic load.
 type Counter struct {
-	v atomic.Int64
+	v atomic.Int64 // atomic-only access (atomicsafe); a plain read/write races Inc
 }
 
 // Inc adds one.
@@ -69,7 +69,7 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Gauge is an instantaneous float64 value. Set and Value are a single
 // atomic store/load of the float bits.
 type Gauge struct {
-	bits atomic.Uint64
+	bits atomic.Uint64 // float64 bits; atomic-only access (atomicsafe)
 }
 
 // Set records the current value.
@@ -86,9 +86,9 @@ type Histogram struct {
 	lo, hi  float64
 	width   float64
 	buckets []atomic.Int64
-	under   atomic.Int64
-	over    atomic.Int64
-	sumBits atomic.Uint64
+	under   atomic.Int64  // atomic-only access (atomicsafe)
+	over    atomic.Int64  // atomic-only access (atomicsafe)
+	sumBits atomic.Uint64 // float64 bits, CAS loop in Observe; atomic-only access
 }
 
 func newHistogram(lo, hi float64, n int) *Histogram {

@@ -267,7 +267,7 @@ type Server struct {
 
 	closed bool           // guarded by mu
 	wg     sync.WaitGroup // internally synchronized; Add in New, Wait in Close
-	stopCh chan struct{}  // created in New, closed exactly once in Close
+	stopCh chan struct{}  // created in New; owned by Close (the only closer)
 }
 
 // New creates and starts a live server (worker pool plus control loop).
