@@ -59,11 +59,16 @@ chaos:
 # asserted recovery properties (internal/scenario) under -race, then a
 # replay of every scenario via cmd/unitscenario, dumping each run's
 # report and trace JSONL into scenario-traces/ (the CI artifact). The
-# replay exits non-zero if any recovery property is violated.
+# replay exits non-zero if any recovery property is violated. unittrace
+# then distills the dumps into one deterministic critical-path report
+# (per-stage percentiles, outcome slices, slowest queries) that rides
+# along in the same artifact.
 scenarios:
 	$(GO) test -race ./internal/scenario/
 	mkdir -p scenario-traces
 	$(GO) run ./cmd/unitscenario run -all -outdir scenario-traces > scenario-traces/reports.json
+	$(GO) run ./cmd/unittrace scenario-traces/*.jsonl > scenario-traces/critical-path.txt
+	tail -n 5 scenario-traces/critical-path.txt
 
 # Fuzz smoke: each target briefly, catching regressions in the HTTP input
 # contract without an open-ended fuzzing session.
@@ -72,10 +77,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseItems -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz=FuzzQueryHandler -fuzztime=$(FUZZTIME) ./internal/server/
 
-# Observability smoke: boot unitd on an ephemeral local port, drive one
-# query, then lint the /metrics exposition (cmd/obslint retries the fetch
-# while the server boots and fails on any malformed line or missing
-# family). Kills the server whichever way the gate ends.
+# Observability smoke: boot unitd on an ephemeral local port, then lint
+# the /metrics exposition (cmd/obslint retries the fetch while the server
+# boots and fails on any malformed line or missing family — including the
+# per-stage latency histograms and the build-info gauge) and probe the
+# JSON debug endpoints. Kills the server whichever way the gate ends.
 OBS_PORT ?= 18411
 obs-smoke:
 	$(GO) build -o bin/unitd ./cmd/unitd
@@ -84,7 +90,8 @@ obs-smoke:
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	./bin/obslint -url http://127.0.0.1:$(OBS_PORT)/metrics -timeout 15s \
-	  -require unit_queries_total,unit_query_latency_seconds,unit_usm_window,unit_usm,unit_admission_cflex,unit_queue_length,unit_lbc_decisions_total,unit_lbc_actions_total
+	  -require unit_queries_total,unit_query_latency_seconds,unit_query_stage_seconds,unit_build_info,unit_usm_window,unit_usm,unit_admission_cflex,unit_queue_length,unit_lbc_decisions_total,unit_lbc_actions_total \
+	  -probe http://127.0.0.1:$(OBS_PORT)/debug/slow,http://127.0.0.1:$(OBS_PORT)/debug/trace
 
 # Benchmark harness (cmd/unitbench): run the full suite at a steady
 # benchtime and write the schema-versioned BENCH_results.json artifact

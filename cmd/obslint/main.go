@@ -6,11 +6,16 @@
 //
 //	obslint -url http://localhost:8080/metrics -timeout 10s \
 //	    -require unit_queries_total,unit_query_latency_seconds
+//	obslint -url http://localhost:8080/metrics \
+//	    -probe http://localhost:8080/debug/slow,http://localhost:8080/healthz
 //	obslint < exposition.txt
 //
 // With -url, the fetch retries until -timeout so the gate can race the
-// server's boot; without it, stdin is linted once. Exit status 0 means a
-// well-formed exposition carrying every required family.
+// server's boot; without it, stdin is linted once. -probe additionally
+// requires each listed URL to answer 200 with a non-empty body (the
+// smoke check for the JSON debug endpoints, which are not expositions).
+// Exit status 0 means a well-formed exposition carrying every required
+// family and every probe answering.
 package main
 
 import (
@@ -33,6 +38,7 @@ func run() int {
 	url := flag.String("url", "", "metrics endpoint to fetch (empty = read stdin)")
 	timeout := flag.Duration("timeout", 10*time.Second, "total budget for fetch retries while the server boots")
 	require := flag.String("require", "", "comma-separated metric families that must be present")
+	probe := flag.String("probe", "", "comma-separated URLs that must answer 200 with a non-empty body")
 	flag.Parse()
 
 	var body io.Reader = os.Stdin
@@ -64,7 +70,27 @@ func run() int {
 	if missing > 0 {
 		return 1
 	}
-	fmt.Printf("obslint: ok (%d families)\n", len(families))
+
+	probes := 0
+	if *probe != "" {
+		for _, u := range strings.Split(*probe, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			body, err := fetch(u, *timeout)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obslint: probe %s: %v\n", u, err)
+				return 1
+			}
+			if strings.TrimSpace(body) == "" {
+				fmt.Fprintf(os.Stderr, "obslint: probe %s: empty body\n", u)
+				return 1
+			}
+			probes++
+		}
+	}
+	fmt.Printf("obslint: ok (%d families, %d probes)\n", len(families), probes)
 	return 0
 }
 

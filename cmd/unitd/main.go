@@ -12,8 +12,9 @@
 //	POST /update?item=3&value=1.23&work=5ms
 //	GET  /stats[?window=30s]
 //	GET  /metrics              (Prometheus text exposition)
-//	GET  /debug/trace?n=100    (query-lifecycle span events, JSON)
+//	GET  /debug/trace?n=100    (query-lifecycle span events, JSON; &query=<id> filters one query)
 //	GET  /debug/controller?n=50 (LBC decision log, JSON)
+//	GET  /debug/slow?n=10      (slowest resolved queries with stage breakdowns, JSON)
 //	GET  /healthz
 //	GET  /debug/pprof/...      (only with -pprof)
 //
@@ -34,10 +35,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"unitdb"
+	"unitdb/internal/version"
 )
 
 func main() {
@@ -56,7 +59,14 @@ func run() int {
 	idle := flag.Duration("idle-timeout", 60*time.Second, "keep-alive idle connection timeout")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace for in-flight HTTP requests")
 	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiles reveal internals)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		// The same strings the unit_build_info gauge exposes on /metrics.
+		fmt.Printf("unitd %s %s\n", version.Version, runtime.Version())
+		return 0
+	}
 
 	cfg := unit.DefaultServerConfig()
 	cfg.NumItems = *items

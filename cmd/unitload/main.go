@@ -51,9 +51,13 @@ func main() {
 
 	var mu sync.Mutex
 	counts := map[string]int{}
-	record := func(o string) {
+	var latencies []float64 // client-measured round-trip seconds, all outcomes
+	record := func(o string, lat time.Duration) {
 		mu.Lock()
 		counts[o]++
+		if lat > 0 {
+			latencies = append(latencies, lat.Seconds())
+		}
 		mu.Unlock()
 	}
 
@@ -108,14 +112,17 @@ func main() {
 			queries.Add(1)
 			go func(item int) {
 				defer queries.Done()
+				sent := time.Now()
 				resp, err := client.Query(server.QueryRequest{
 					Items: []int{item}, Deadline: *deadline, Work: *work, Freshness: 0.9,
 				})
 				if err != nil {
-					record("error")
+					record("error", 0)
 					return
 				}
-				record(string(resp.Outcome))
+				// Client-side end-to-end latency: queueing, execution and the
+				// network round trip, as the user experiences it.
+				record(string(resp.Outcome), time.Since(sent))
 			}(item)
 		}
 	}()
@@ -134,7 +141,19 @@ func main() {
 	for _, k := range keys {
 		fmt.Printf("  %-16s %d\n", k, counts[k])
 	}
+	lats := append([]float64(nil), latencies...)
 	mu.Unlock()
+
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		var sum float64
+		for _, v := range lats {
+			sum += v
+		}
+		fmt.Printf("client latency over %d queries: mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+			len(lats), 1e3*sum/float64(len(lats)),
+			1e3*pctl(lats, 0.50), 1e3*pctl(lats, 0.95), 1e3*pctl(lats, 0.99), 1e3*lats[len(lats)-1])
+	}
 
 	st, err := client.Stats()
 	if err != nil {
@@ -147,6 +166,18 @@ func main() {
 		fmt.Printf("server: shed=%d panicked=%d canceled=%d drained=%d\n",
 			st.QueriesShed, st.QueriesPanicked, st.QueriesCanceled, st.QueriesDrained)
 	}
+}
+
+// pctl is the nearest-rank percentile of an ascending-sorted slice.
+func pctl(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // zipfRanks precomputes a sampling table: item i appears proportionally to

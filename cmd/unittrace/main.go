@@ -1,0 +1,79 @@
+// Command unittrace analyzes trace JSONL dumps offline (from
+// `unitsim -trace` and `unitscenario run -outdir`): it prints a
+// deterministic critical-path report — per-stage latency percentiles,
+// outcome-sliced breakdowns, the slowest queries, and the query-latency
+// picture around each LBC decision. Same dump, same report, byte for
+// byte.
+//
+//	unittrace run.jsonl                  # one dump, text report
+//	unittrace -top 20 a.jsonl b.jsonl    # several dumps, each headed by its path
+//	unitsim -trace - ... | unittrace     # read the dump from stdin
+//	unittrace -json run.jsonl            # machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"unitdb/internal/obs/tracereport"
+)
+
+func main() {
+	top := flag.Int("top", 10, "critical-path table length (slowest N queries)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	flag.Parse()
+
+	if err := run(flag.Args(), *top, *jsonOut, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "unittrace:", err)
+		os.Exit(1)
+	}
+}
+
+// run analyzes each named dump (stdin when none are named). Paths are
+// sorted so a shell glob's report order never depends on filesystem
+// enumeration.
+func run(paths []string, top int, jsonOut bool, w io.Writer) error {
+	if len(paths) == 0 {
+		return report("", os.Stdin, top, jsonOut, false, w)
+	}
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		err = report(p, f, top, jsonOut, len(sorted) > 1, w)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+func report(name string, r io.Reader, top int, jsonOut, headed bool, w io.Writer) error {
+	rep, err := tracereport.Analyze(r, top)
+	if err != nil {
+		return err
+	}
+	if headed {
+		fmt.Fprintf(w, "== %s ==\n", name)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if err := rep.WriteText(w); err != nil {
+		return err
+	}
+	if headed {
+		fmt.Fprintln(w)
+	}
+	return nil
+}

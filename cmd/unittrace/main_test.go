@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const tinyDump = `{"seq":1,"t":0,"kind":"arrive","query":1,"items":1,"deadline":1}
+{"seq":2,"t":0,"kind":"admit","query":1}
+{"seq":3,"t":0.2,"kind":"execute","query":1,"wait":0.2}
+{"seq":4,"t":0.5,"kind":"outcome","query":1,"outcome":"success","stages":{"queue_wait":0.2,"lock_wait":0,"exec":0.3,"overhead":0,"total":0.5}}
+`
+
+// TestRunSortsPathsAndIsDeterministic: report order follows sorted path
+// order regardless of argument order, and repeated runs are
+// byte-identical.
+func TestRunSortsPathsAndIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte(tinyDump), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	render := func(paths []string) string {
+		var buf bytes.Buffer
+		if err := run(paths, 10, false, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out1 := render([]string{b, a})
+	out2 := render([]string{a, b})
+	if out1 != out2 {
+		t.Fatal("argument order changed the report")
+	}
+	if !strings.Contains(out1, "== "+a+" ==") || strings.Index(out1, a) > strings.Index(out1, filepath.Base(b)) {
+		t.Fatalf("reports not headed in sorted path order:\n%s", out1)
+	}
+	if !strings.Contains(out1, "per-stage latency") {
+		t.Fatalf("report missing table:\n%s", out1)
+	}
+}
+
+// TestRunJSON: -json renders a machine-readable report.
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "run.jsonl")
+	if err := os.WriteFile(p, []byte(tinyDump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{p}, 10, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"per_stage"`) {
+		t.Fatalf("JSON report missing per_stage:\n%s", buf.String())
+	}
+}
+
+// TestRunBadFile: a missing path and a malformed dump both error.
+func TestRunBadFile(t *testing.T) {
+	if err := run([]string{"/nonexistent/x.jsonl"}, 10, false, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file did not error")
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(p, []byte("{broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{p}, 10, false, &bytes.Buffer{}); err == nil {
+		t.Fatal("malformed dump did not error")
+	}
+}

@@ -175,6 +175,7 @@ type Engine struct {
 	deadlineEvents map[*txn.Txn]*eventsim.Event // owned by Run
 	pendingUpdate  map[int]*txn.Txn             // owned by Run; latest enqueued-but-unapplied update per item
 	feedExec       map[int]float64              // owned by Run; update execution time per item (for refreshes)
+	stages         map[*txn.Txn]*stageState     // owned by Run; per-query latency attribution, nil when tracing is off
 	nextID         int64                        // owned by Run
 
 	busyQuery  float64 // owned by Run
@@ -227,6 +228,11 @@ func New(cfg Config, policy Policy) (*Engine, error) {
 	}
 	for _, u := range cfg.Workload.Updates {
 		e.feedExec[u.Item] = u.Exec
+	}
+	if cfg.Trace != nil {
+		// Stage accounting exists only when someone can observe it; a nil
+		// recorder keeps the run bitwise-identical to pre-tracing behavior.
+		e.stages = make(map[*txn.Txn]*stageState)
 	}
 	if qd, ok := cfg.Disturbance.(QueryDisturbance); ok {
 		e.qd = qd
@@ -420,6 +426,7 @@ func (e *Engine) presentQuery(spec workload.QuerySpec) {
 	e.deadlineEvents[q] = e.sim.At(q.Deadline, func() { e.queryDeadline(q) })
 	e.ready.Push(q)
 	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindQueue, Query: q.ID})
+	e.stageTransition(q, stQueued)
 	if e.qd != nil {
 		if after := e.qd.DisconnectAfter(e.sim.Now()); after > 0 {
 			e.sim.At(e.sim.Now()+after, func() { e.abandonQuery(q) })
@@ -516,6 +523,10 @@ func (e *Engine) dispatch() {
 		e.absorbLockResult(res, t)
 		if res.Granted {
 			e.start(t)
+		} else if t.Class == txn.ClassQuery {
+			// Parked as a lock waiter; its clock now accrues lock wait.
+			e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindBlock, Query: t.ID})
+			e.stageTransition(t, stBlocked)
 		}
 		// Not granted: t is parked as a lock waiter; pick the next one.
 	}
@@ -531,6 +542,7 @@ func (e *Engine) absorbLockResult(res lockmgr.Result, self *txn.Txn) {
 	for _, u := range res.Unblocked {
 		if u != self && !e.ready.Contains(u) {
 			e.ready.Push(u)
+			e.stageTransition(u, stQueued) // lock wait over (no-op for updates)
 		}
 	}
 }
@@ -577,12 +589,15 @@ func (e *Engine) resolveAbortedQuery(v *txn.Txn) {
 	}
 	v.ResetForRestart()
 	e.restarts++
+	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindRestart, Query: v.ID})
+	e.stageRestart(v) // the aborted attempt's CPU time becomes overhead
 	e.ready.Push(v)
 }
 
 func (e *Engine) start(t *txn.Txn) {
 	if t.Class == txn.ClassQuery {
 		e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindExecute, Query: t.ID, Wait: e.sim.Now() - t.Arrival})
+		e.stageTransition(t, stRunning)
 	}
 	if t.Class == txn.ClassQuery && !t.ReadSampled() {
 		// The query reads its items as it begins executing; the DSF check
@@ -601,6 +616,12 @@ func (e *Engine) preempt() {
 	t := e.running
 	e.stopRunningClock()
 	e.preemptions++
+	if t.Class == txn.ClassQuery {
+		// Progress is kept, so no work is discarded: the preemption's cost
+		// surfaces as the extra queue wait accrued until the resume.
+		e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindPreempt, Query: t.ID})
+		e.stageTransition(t, stQueued)
+	}
 	e.ready.Push(t) // keeps its locks; will resume with Remaining left
 }
 
@@ -730,7 +751,7 @@ func (e *Engine) abandonQuery(q *txn.Txn) {
 	res := e.locks.ReleaseAll(q)
 	e.absorbLockResult(res, q)
 	e.queriesAbandoned++
-	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindOutcome, Query: q.ID, Outcome: "abandoned"})
+	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindOutcome, Query: q.ID, Outcome: "abandoned", Stages: e.stageFinalize(q)})
 	e.dispatch()
 }
 
@@ -748,7 +769,7 @@ func (e *Engine) finalizeQuery(q *txn.Txn, o txn.Outcome) {
 		e.sim.Cancel(ev)
 		delete(e.deadlineEvents, q)
 	}
-	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindOutcome, Query: q.ID, Outcome: o.String(), Fresh: q.ReadFreshness})
+	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindOutcome, Query: q.ID, Outcome: o.String(), Fresh: q.ReadFreshness, Stages: e.stageFinalize(q)})
 	e.acct.Record(o, q.PrefClass)
 	e.policy.OnQueryDone(q)
 }

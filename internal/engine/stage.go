@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"unitdb/internal/obs/trace"
+	"unitdb/internal/txn"
+)
+
+// Stage accounting: while a trace recorder is attached, the engine keeps
+// a per-query stageState partitioning the query's admitted lifetime into
+// the trace.StageBreakdown stages. At any virtual instant an admitted,
+// unresolved query is in exactly one of three states — waiting in the
+// ready queue, parked as a 2PL-HP lock waiter, or running on the CPU —
+// so attributing the interval since the last transition to the bucket of
+// the state being left makes the buckets partition the admission→outcome
+// span exactly (the conservation law stage_test.go asserts). The whole
+// subsystem is write-only bookkeeping keyed off e.stages, which New
+// allocates only when tracing is on: with a nil recorder every hook here
+// is a no-op and runs stay bitwise-unchanged (pinned by
+// TestNilRecorderBitwiseUnchanged).
+
+// Stage states an admitted query moves through.
+const (
+	stQueued  = iota // in the ready queue (including re-queues after preempt/restart)
+	stBlocked        // parked as a lock waiter
+	stRunning        // on the CPU
+)
+
+// stageState accumulates one query's latency attribution in virtual
+// seconds. attempt holds the CPU time of the in-progress attempt; an
+// HP-abort restart moves it into overhead (that work is discarded), and
+// finalization folds it into Exec (the attempt that reached the
+// outcome). Preemption moves nothing — progress is kept, so the attempt
+// keeps accruing across resumes.
+type stageState struct {
+	state    int     // current stage, one of stQueued/stBlocked/stRunning
+	since    float64 // virtual time the current interval began
+	queue    float64 // accumulated ready-queue wait
+	lock     float64 // accumulated lock wait
+	attempt  float64 // CPU time of the attempt in progress
+	overhead float64 // CPU time discarded by HP-abort restarts
+}
+
+// stageAccumulate closes the interval [st.since, now), crediting it to
+// the bucket of the current state.
+func stageAccumulate(st *stageState, now float64) {
+	d := now - st.since
+	switch st.state {
+	case stQueued:
+		st.queue += d
+	case stBlocked:
+		st.lock += d
+	case stRunning:
+		st.attempt += d
+	}
+	st.since = now
+}
+
+// stageTransition moves a traced query into state at the current virtual
+// instant, creating its stageState on first call (admission). No-op for
+// updates and when tracing is off.
+func (e *Engine) stageTransition(t *txn.Txn, state int) {
+	if e.stages == nil || t.Class != txn.ClassQuery {
+		return
+	}
+	now := e.sim.Now()
+	st := e.stages[t]
+	if st == nil {
+		e.stages[t] = &stageState{state: state, since: now}
+		return
+	}
+	stageAccumulate(st, now)
+	st.state = state
+}
+
+// stageRestart accounts an HP-abort restart: the aborted attempt's CPU
+// time becomes overhead and the query re-enters the queue stage.
+func (e *Engine) stageRestart(t *txn.Txn) {
+	if e.stages == nil || t.Class != txn.ClassQuery {
+		return
+	}
+	st := e.stages[t]
+	if st == nil {
+		return
+	}
+	stageAccumulate(st, e.sim.Now())
+	st.overhead += st.attempt
+	st.attempt = 0
+	st.state = stQueued
+}
+
+// stageFinalize closes a traced query's breakdown at the current instant
+// and releases its state. It returns nil when tracing is off (so outcome
+// events in untraced runs carry no stages), and an all-zero breakdown
+// for queries rejected at admission (they never held a stageState).
+func (e *Engine) stageFinalize(t *txn.Txn) *trace.StageBreakdown {
+	if e.stages == nil || t.Class != txn.ClassQuery {
+		return nil
+	}
+	st := e.stages[t]
+	if st == nil {
+		return &trace.StageBreakdown{}
+	}
+	delete(e.stages, t)
+	stageAccumulate(st, e.sim.Now())
+	b := &trace.StageBreakdown{
+		QueueWait: st.queue,
+		LockWait:  st.lock,
+		Exec:      st.attempt,
+		Overhead:  st.overhead,
+	}
+	b.Total = b.Sum()
+	return b
+}

@@ -1,0 +1,109 @@
+// Stage-accounting conservation tests: the per-query StageBreakdown on
+// outcome events must partition each query's admitted lifetime exactly —
+// the latency-attribution analogue of the USM conservation law.
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"unitdb/internal/obs/trace"
+	"unitdb/internal/txn"
+)
+
+// TestStageBreakdownConservation checks, for every outcome event of a
+// traced run: the four stages sum to Total; Total equals the span from
+// the arrive event to the outcome event (admission and arrival share an
+// instant in the engine); rejected queries carry all-zero breakdowns.
+func TestStageBreakdownConservation(t *testing.T) {
+	rec := trace.New(traceCap, traceCap)
+	res, _ := runTraced(t, rec)
+	arriveT := map[int64]float64{}
+	outcomes := 0
+	var committedTotal float64
+	for _, ev := range rec.Events(0) {
+		switch ev.Kind {
+		case trace.KindArrive:
+			arriveT[ev.Query] = ev.T
+		case trace.KindOutcome:
+			outcomes++
+			if ev.Stages == nil {
+				t.Fatalf("outcome event for query %d has no stage breakdown: %+v", ev.Query, ev)
+			}
+			b := ev.Stages
+			if math.Abs(b.Sum()-b.Total) > 1e-9 {
+				t.Fatalf("query %d: stage sum %v != total %v", ev.Query, b.Sum(), b.Total)
+			}
+			span := ev.T - arriveT[ev.Query]
+			if math.Abs(b.Total-span) > 1e-9 {
+				t.Fatalf("query %d: breakdown total %v != arrive→outcome span %v (%+v)",
+					ev.Query, b.Total, span, *b)
+			}
+			if ev.Outcome == txn.OutcomeRejected.String() && b.Total != 0 {
+				t.Fatalf("rejected query %d accrued stage time: %+v", ev.Query, *b)
+			}
+			if ev.Outcome == txn.OutcomeSuccess.String() || ev.Outcome == txn.OutcomeDSF.String() {
+				committedTotal += b.Total
+			}
+		}
+	}
+	if outcomes == 0 {
+		t.Fatal("run produced no outcome events")
+	}
+	// The committed queries' stage totals are exactly the latencies the
+	// engine averaged into Results.AvgLatency.
+	committed := res.Counts.Success + res.Counts.DSF
+	if committed > 0 {
+		wantSum := res.AvgLatency * float64(committed)
+		if math.Abs(committedTotal-wantSum) > 1e-6 {
+			t.Errorf("committed stage totals sum to %v, Results latency sum is %v", committedTotal, wantSum)
+		}
+	}
+}
+
+// TestStageEventsPresent: the workload contends enough that the new span
+// kinds actually fire, and each corresponds to its engine counter.
+func TestStageEventsPresent(t *testing.T) {
+	rec := trace.New(traceCap, traceCap)
+	res, _ := runTraced(t, rec)
+	kinds := map[trace.Kind]int{}
+	for _, ev := range rec.Events(0) {
+		kinds[ev.Kind]++
+	}
+	if res.Preemptions > 0 && kinds[trace.KindPreempt] == 0 {
+		t.Errorf("engine counted %d preemptions but no preempt events recorded", res.Preemptions)
+	}
+	if kinds[trace.KindPreempt] > res.Preemptions {
+		t.Errorf("%d preempt events exceed engine's %d preemptions", kinds[trace.KindPreempt], res.Preemptions)
+	}
+	// Restart events cover query restarts only (update restarts are not
+	// query lifecycle), so the event count is bounded by the counter.
+	if kinds[trace.KindRestart] > res.Restarts {
+		t.Errorf("%d restart events exceed engine's %d restarts", kinds[trace.KindRestart], res.Restarts)
+	}
+	if kinds[trace.KindExecute] == 0 || kinds[trace.KindOutcome] == 0 {
+		t.Fatalf("lifecycle kinds missing: %v", kinds)
+	}
+}
+
+// TestStageOverheadOnlyAfterRestart: a query with no restart events must
+// show zero overhead, and one with restarts shows the discarded work —
+// overhead is exclusively HP-abort damage.
+func TestStageOverheadOnlyAfterRestart(t *testing.T) {
+	rec := trace.New(traceCap, traceCap)
+	runTraced(t, rec)
+	restarted := map[int64]bool{}
+	for _, ev := range rec.Events(0) {
+		if ev.Kind == trace.KindRestart {
+			restarted[ev.Query] = true
+		}
+	}
+	for _, ev := range rec.Events(0) {
+		if ev.Kind != trace.KindOutcome || ev.Stages == nil {
+			continue
+		}
+		if !restarted[ev.Query] && ev.Stages.Overhead != 0 {
+			t.Fatalf("query %d never restarted but has overhead %v", ev.Query, ev.Stages.Overhead)
+		}
+	}
+}

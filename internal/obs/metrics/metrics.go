@@ -82,13 +82,23 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // overflow buckets — the same layout as stats.Histogram, observed through
 // atomics so Observe never blocks. The sum accumulates via CAS on the
 // float bits; bucket counts are plain atomic adds.
+//
+// Each bucket additionally remembers an exemplar: the opaque id (a
+// query/trace id) of the most recent observation that landed in it,
+// recorded by ObserveEx. An exemplar links a fat tail bucket back to the
+// exact trace span that fattened it — /debug/slow and
+// /debug/trace?query=<id> complete the loop. Exemplar id 0 means "none"
+// (callers allocate ids starting at 1).
 type Histogram struct {
-	lo, hi  float64
-	width   float64
-	buckets []atomic.Int64
-	under   atomic.Int64  // atomic-only access (atomicsafe)
-	over    atomic.Int64  // atomic-only access (atomicsafe)
-	sumBits atomic.Uint64 // float64 bits, CAS loop in Observe; atomic-only access
+	lo, hi    float64
+	width     float64
+	buckets   []atomic.Int64
+	exemplars []atomic.Int64 // per-bucket most recent id; atomic-only access (atomicsafe)
+	under     atomic.Int64   // atomic-only access (atomicsafe)
+	over      atomic.Int64   // atomic-only access (atomicsafe)
+	underEx   atomic.Int64   // atomic-only access (atomicsafe)
+	overEx    atomic.Int64   // atomic-only access (atomicsafe)
+	sumBits   atomic.Uint64  // float64 bits, CAS loop in Observe; atomic-only access
 }
 
 func newHistogram(lo, hi float64, n int) *Histogram {
@@ -98,22 +108,42 @@ func newHistogram(lo, hi float64, n int) *Histogram {
 	if hi <= lo {
 		panic("metrics: histogram with empty range")
 	}
-	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]atomic.Int64, n)}
+	return &Histogram{
+		lo: lo, hi: hi, width: (hi - lo) / float64(n),
+		buckets:   make([]atomic.Int64, n),
+		exemplars: make([]atomic.Int64, n),
+	}
 }
 
-// Observe records one sample.
-func (h *Histogram) Observe(x float64) {
+// Observe records one sample without an exemplar.
+func (h *Histogram) Observe(x float64) { h.ObserveEx(x, 0) }
+
+// ObserveEx records one sample and, when exemplar is non-zero, stamps it
+// as the landing bucket's most recent exemplar. The bucket count and the
+// exemplar are separate atomics — a racing snapshot may pair a count
+// with a neighboring observation's id, which is fine: an exemplar is a
+// representative, not an inventory.
+func (h *Histogram) ObserveEx(x float64, exemplar int64) {
 	switch {
 	case x < h.lo:
 		h.under.Add(1)
+		if exemplar != 0 {
+			h.underEx.Store(exemplar)
+		}
 	case x >= h.hi:
 		h.over.Add(1)
+		if exemplar != 0 {
+			h.overEx.Store(exemplar)
+		}
 	default:
 		i := int((x - h.lo) / h.width)
 		if i >= len(h.buckets) { // rounding at the top edge
 			i = len(h.buckets) - 1
 		}
 		h.buckets[i].Add(1)
+		if exemplar != 0 {
+			h.exemplars[i].Store(exemplar)
+		}
 	}
 	for {
 		old := h.sumBits.Load()
@@ -138,6 +168,12 @@ type HistSnapshot struct {
 	Over        int64     `json:"over"`
 	Count       int64     `json:"count"`
 	Sum         float64   `json:"sum"`
+	// Exemplars[i] is the most recent ObserveEx id that landed in bucket
+	// i (aligned with UpperBounds); UnderEx/OverEx cover the two edge
+	// buckets. 0 means the bucket has seen no exemplar.
+	Exemplars []int64 `json:"exemplars,omitempty"`
+	UnderEx   int64   `json:"under_exemplar,omitempty"`
+	OverEx    int64   `json:"over_exemplar,omitempty"`
 }
 
 // snapshot loads the histogram's atomics. The total is derived from the
@@ -149,8 +185,11 @@ func (h *Histogram) snapshot() *HistSnapshot {
 		Hi:          h.hi,
 		UpperBounds: make([]float64, len(h.buckets)),
 		Cumulative:  make([]int64, len(h.buckets)),
+		Exemplars:   make([]int64, len(h.buckets)),
 		Under:       h.under.Load(),
 		Over:        h.over.Load(),
+		UnderEx:     h.underEx.Load(),
+		OverEx:      h.overEx.Load(),
 		Sum:         math.Float64frombits(h.sumBits.Load()),
 	}
 	acc := s.Under
@@ -158,6 +197,7 @@ func (h *Histogram) snapshot() *HistSnapshot {
 		acc += h.buckets[i].Load()
 		s.UpperBounds[i] = h.lo + h.width*float64(i+1)
 		s.Cumulative[i] = acc
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	s.Count = acc + s.Over
 	return s

@@ -81,6 +81,39 @@ func TestHistogramObserveAndSnapshot(t *testing.T) {
 	}
 }
 
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("unit_lat_ex", "latency", 0, 1, 4) // buckets .25 wide
+	h.ObserveEx(0.1, 7)
+	h.ObserveEx(0.3, 8)
+	h.ObserveEx(0.3, 9)   // same bucket: most recent id wins
+	h.ObserveEx(-0.5, 10) // underflow
+	h.ObserveEx(1.5, 11)  // overflow
+	h.Observe(0.9)        // no exemplar: bucket stays id-less
+	s := h.snapshot()
+	if want := []int64{7, 9, 0, 0}; len(s.Exemplars) != 4 ||
+		s.Exemplars[0] != want[0] || s.Exemplars[1] != want[1] ||
+		s.Exemplars[2] != want[2] || s.Exemplars[3] != want[3] {
+		t.Fatalf("exemplars = %v, want %v", s.Exemplars, want)
+	}
+	if s.UnderEx != 10 || s.OverEx != 11 {
+		t.Fatalf("edge exemplars = %d/%d, want 10/11", s.UnderEx, s.OverEx)
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6 (ObserveEx must still count)", s.Count)
+	}
+}
+
+func TestObserveExZeroKeepsPriorExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("unit_lat_keep", "latency", 0, 1, 2)
+	h.ObserveEx(0.1, 42)
+	h.Observe(0.1) // exemplar-less observation must not erase id 42
+	if s := h.snapshot(); s.Exemplars[0] != 42 {
+		t.Fatalf("exemplar = %d, want 42 preserved", s.Exemplars[0])
+	}
+}
+
 func TestSnapshotOrderingIsStable(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("unit_b_total", "", Label{Key: "x", Value: "2"})

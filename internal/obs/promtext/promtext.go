@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -117,16 +118,27 @@ func baseName(name string, types map[string]string) string {
 	return name
 }
 
+// bucketPoint is one histogram bucket sample: its le bound, cumulative
+// count, and the line it appeared on (for error messages).
+type bucketPoint struct {
+	le    float64
+	count float64
+	line  int
+}
+
 // Lint validates an exposition stream: every line is a well-formed
 // comment, HELP, TYPE or sample; TYPE lines are unique per family and
 // precede that family's samples; label pairs and sample values parse.
-// It returns the families that exposed at least one sample, so callers
-// can assert required metrics are present.
+// Histogram bucket series (grouped per family and non-le label set) must
+// carry an le="+Inf" bucket and cumulative counts that are non-decreasing
+// in ascending le order. It returns the families that exposed at least
+// one sample, so callers can assert required metrics are present.
 func Lint(r io.Reader) (families map[string]int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	types := make(map[string]string)
 	seen := make(map[string]int)
+	buckets := make(map[string][]bucketPoint)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -175,12 +187,93 @@ func Lint(r io.Reader) (families map[string]int, err error) {
 				return seen, fmt.Errorf("line %d: unparseable value %q", lineNo, value)
 			}
 		}
-		seen[baseName(name, types)]++
+		base := baseName(name, types)
+		if types[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, key, berr := bucketKey(base, labels)
+			if berr != nil {
+				return seen, fmt.Errorf("line %d: %v", lineNo, berr)
+			}
+			cnt, _ := strconv.ParseFloat(value, 64)
+			buckets[key] = append(buckets[key], bucketPoint{le: le, count: cnt, line: lineNo})
+		}
+		seen[base]++
 	}
 	if serr := sc.Err(); serr != nil {
 		return seen, serr
 	}
+	if herr := lintBuckets(buckets); herr != nil {
+		return seen, herr
+	}
 	return seen, nil
+}
+
+// bucketKey extracts the le bound of a _bucket sample and builds its
+// series group key: the family name plus the sorted non-le label pairs,
+// so one histogram family with labels lints each series independently.
+func bucketKey(base, labels string) (le float64, key string, err error) {
+	var rest []string
+	leVal, haveLE := "", false
+	for _, pair := range splitLabels(labels) {
+		m := labelRE.FindStringSubmatch(pair)
+		if m == nil {
+			continue // already rejected above
+		}
+		if m[1] == "le" {
+			leVal, haveLE = m[2], true
+			continue
+		}
+		rest = append(rest, pair)
+	}
+	if !haveLE {
+		return 0, "", fmt.Errorf("histogram bucket %s missing le label", base)
+	}
+	switch leVal {
+	case "+Inf":
+		le = math.Inf(1)
+	default:
+		le, err = strconv.ParseFloat(leVal, 64)
+		if err != nil {
+			return 0, "", fmt.Errorf("histogram bucket %s: bad le bound %q", base, leVal)
+		}
+	}
+	sort.Strings(rest)
+	key = base
+	if len(rest) > 0 {
+		key += "{" + strings.Join(rest, ",") + "}"
+	}
+	return le, key, nil
+}
+
+// lintBuckets enforces the two structural histogram rules over the
+// collected bucket samples: every series must close with an le="+Inf"
+// bucket, and cumulative counts must be non-decreasing in ascending le
+// order. Groups are checked in sorted key order so the reported error is
+// deterministic.
+func lintBuckets(buckets map[string][]bucketPoint) error {
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pts := append([]bucketPoint(nil), buckets[k]...)
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].le < pts[j].le })
+		hasInf := false
+		for i, p := range pts {
+			if math.IsInf(p.le, 1) {
+				hasInf = true
+			}
+			// The negated >= also rejects NaN counts.
+			if i > 0 && !(p.count >= pts[i-1].count) {
+				return fmt.Errorf("line %d: histogram %s: non-monotone bucket counts (le=%s count %g after count %g)",
+					p.line, k, formatFloat(p.le), p.count, pts[i-1].count)
+			}
+		}
+		if !hasInf {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", k)
+		}
+	}
+	return nil
 }
 
 // splitLabels splits a rendered label body on commas outside quotes.

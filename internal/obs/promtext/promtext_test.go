@@ -98,3 +98,122 @@ func TestLintRejectsMalformed(t *testing.T) {
 		t.Errorf("lint rejected valid input: %v", err)
 	}
 }
+
+// TestLintHistogramRules covers the structural histogram checks: every
+// bucket series needs an le="+Inf" bucket, cumulative counts must be
+// non-decreasing in ascending le order, and series of one family are
+// grouped by their non-le labels so interleaved label sets lint
+// independently.
+func TestLintHistogramRules(t *testing.T) {
+	const typ = "# TYPE unit_h histogram\n"
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"complete series", typ +
+			`unit_h_bucket{le="0.5"} 1` + "\n" +
+			`unit_h_bucket{le="1"} 2` + "\n" +
+			`unit_h_bucket{le="+Inf"} 3` + "\n" +
+			"unit_h_sum 1.9\nunit_h_count 3\n", true},
+		{"missing +Inf", typ +
+			`unit_h_bucket{le="0.5"} 1` + "\n" +
+			`unit_h_bucket{le="1"} 2` + "\n", false},
+		{"non-monotone counts", typ +
+			`unit_h_bucket{le="0.5"} 5` + "\n" +
+			`unit_h_bucket{le="1"} 3` + "\n" +
+			`unit_h_bucket{le="+Inf"} 9` + "\n", false},
+		{"+Inf below a bucket", typ +
+			`unit_h_bucket{le="0.5"} 1` + "\n" +
+			`unit_h_bucket{le="+Inf"} 2` + "\n" +
+			`unit_h_bucket{le="1"} 9` + "\n", false},
+		{"NaN count", typ +
+			`unit_h_bucket{le="0.5"} 1` + "\n" +
+			`unit_h_bucket{le="+Inf"} NaN` + "\n", false},
+		{"bucket missing le", typ +
+			`unit_h_bucket{stage="exec"} 1` + "\n", false},
+		{"unparseable le bound", typ +
+			`unit_h_bucket{le="wide"} 1` + "\n", false},
+		{"labeled series lint independently", typ +
+			`unit_h_bucket{stage="exec",le="0.5"} 4` + "\n" +
+			`unit_h_bucket{stage="queue_wait",le="0.5"} 1` + "\n" +
+			`unit_h_bucket{stage="exec",le="+Inf"} 4` + "\n" +
+			`unit_h_bucket{stage="queue_wait",le="+Inf"} 2` + "\n", true},
+		{"one labeled series missing +Inf", typ +
+			`unit_h_bucket{stage="exec",le="+Inf"} 4` + "\n" +
+			`unit_h_bucket{stage="queue_wait",le="0.5"} 1` + "\n", false},
+		{"buckets of an undeclared family are plain samples", "" +
+			`unit_x_bucket{le="0.5"} 9` + "\n" +
+			`unit_x_bucket{le="1"} 3` + "\n", true},
+	}
+	for _, tc := range cases {
+		_, err := Lint(strings.NewReader(tc.in))
+		if tc.ok && err != nil {
+			t.Errorf("%s: lint rejected valid histogram: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: lint accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+// TestLintEscapedLabelValues: escape sequences inside label values —
+// quotes, backslashes, embedded commas and braces — neither break the
+// sample parse nor the histogram series grouping.
+func TestLintEscapedLabelValues(t *testing.T) {
+	in := "# TYPE unit_h histogram\n" +
+		`unit_h_bucket{path="a\"b\\c,d{e}",le="0.5"} 1` + "\n" +
+		`unit_h_bucket{path="a\"b\\c,d{e}",le="+Inf"} 2` + "\n" +
+		"# TYPE unit_esc counter\n" +
+		`unit_esc{k="line\nbreak",q="\\\""} 7` + "\n"
+	fams, err := Lint(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("lint rejected escaped label values: %v", err)
+	}
+	if fams["unit_h"] != 2 || fams["unit_esc"] != 1 {
+		t.Fatalf("unexpected family counts: %v", fams)
+	}
+	// The same escapes rejected when the grouping would be ambiguous:
+	// an unterminated quote swallows the rest of the line.
+	if _, err := Lint(strings.NewReader(`unit_esc{k="open} 1` + "\n")); err == nil {
+		t.Error("lint accepted an unterminated label quote")
+	}
+}
+
+// FuzzLint: Lint must never panic and must always return a usable family
+// map, whatever bytes arrive. Registry-rendered expositions seed the
+// corpus alongside malformed fragments.
+func FuzzLint(f *testing.F) {
+	r := metrics.NewRegistry()
+	r.Counter("unit_q_total", "q", metrics.Label{Key: "outcome", Value: "success"}).Inc()
+	h := r.Histogram("unit_lat", "lat", 0, 1, 4, metrics.Label{Key: "stage", Value: "exec"})
+	h.Observe(0.3)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := Write(&buf, r.Snapshot()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("# TYPE unit_h histogram\nunit_h_bucket{le=\"+Inf\"} 1\n")
+	f.Add("# TYPE unit_h histogram\nunit_h_bucket{le=\"0.5\"} 2\nunit_h_bucket{le=\"1\"} 1\n")
+	f.Add("unit_x{k=\"v\\\"w\"} 1 1700000000\n")
+	f.Add("# HELP broken")
+	f.Add("{} 1\n9bad 2\nunit_ok NaN\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		fams, err := Lint(strings.NewReader(in))
+		if fams == nil {
+			t.Fatal("Lint returned a nil family map")
+		}
+		if err == nil {
+			// A clean pass must be stable: linting the same bytes again
+			// yields the same family counts.
+			again, err2 := Lint(strings.NewReader(in))
+			if err2 != nil {
+				t.Fatalf("second lint of accepted input failed: %v", err2)
+			}
+			if len(again) != len(fams) {
+				t.Fatalf("lint not deterministic: %v vs %v", fams, again)
+			}
+		}
+	})
+}

@@ -24,17 +24,55 @@ type Kind string
 // Query lifecycle span events, in the order a query can emit them:
 // arrive, then admit or reject, then queue, execute and outcome. A
 // preempted or restarted query may execute more than once; its terminal
-// outcome is emitted exactly once. KindDecision tags controller records
-// in merged dumps.
+// outcome is emitted exactly once. Between queue and outcome the stage
+// boundaries block (lock wait begins), preempt (execution suspended,
+// back to the queue with progress kept) and restart (HP-abort discarded
+// the attempt's work) mark where the query's time goes; the finalized
+// per-stage attribution travels on the outcome event as a
+// StageBreakdown. KindDecision tags controller records in merged dumps.
 const (
 	KindArrive   Kind = "arrive"
 	KindAdmit    Kind = "admit"
 	KindReject   Kind = "reject"
 	KindQueue    Kind = "queue"
 	KindExecute  Kind = "execute"
+	KindBlock    Kind = "block"
+	KindPreempt  Kind = "preempt"
+	KindRestart  Kind = "restart"
 	KindOutcome  Kind = "outcome"
 	KindDecision Kind = "decision"
 )
+
+// StageBreakdown attributes one query's lifetime to pipeline stages, in
+// the recorder's time base (virtual seconds in the engine, wall seconds
+// in the live server). The stages partition the interval from admission
+// to the terminal outcome:
+//
+//   - QueueWait: time in the ready queue, including re-queues after a
+//     preemption or restart (preemption itself wastes no work — the
+//     transaction resumes with its progress kept — so "preempt overhead"
+//     surfaces here, as extra queueing).
+//   - LockWait: time parked as a 2PL-HP lock waiter.
+//   - Exec: CPU time of the attempt that reached the outcome.
+//   - Overhead: CPU time discarded by HP-abort restarts (work executed
+//     and thrown away; the restarted attempt starts from zero).
+//
+// Total is the sum of the four, which equals the span from admission to
+// finalization up to float rounding — the conservation law the engine's
+// stage tests assert. A rejected query has an all-zero breakdown.
+type StageBreakdown struct {
+	QueueWait float64 `json:"queue_wait"`
+	LockWait  float64 `json:"lock_wait"`
+	Exec      float64 `json:"exec"`
+	Overhead  float64 `json:"overhead"`
+	Total     float64 `json:"total"`
+}
+
+// Sum returns the stage durations' sum, for conservation checks against
+// Total.
+func (b StageBreakdown) Sum() float64 {
+	return b.QueueWait + b.LockWait + b.Exec + b.Overhead
+}
 
 // Event is one span event of a query's lifecycle. T is in the caller's
 // time base (sim seconds or wall seconds since server start).
@@ -48,6 +86,13 @@ type Event struct {
 	Wait     float64 `json:"wait,omitempty"`     // time since arrival, on execute
 	Outcome  string  `json:"outcome,omitempty"`  // terminal outcome, on outcome
 	Fresh    float64 `json:"fresh,omitempty"`    // freshness read, on outcome
+
+	// Stages is the finalized per-stage latency attribution, set on
+	// outcome events when the caller tracks stage boundaries (the engine
+	// does whenever a recorder is attached; the live server stamps its
+	// wall-clock equivalent). Nil on all other kinds and in pre-stage
+	// dumps, so old traces still parse.
+	Stages *StageBreakdown `json:"stages,omitempty"`
 }
 
 // Decision is one Load Balancing Controller firing: the windowed inputs
@@ -181,6 +226,28 @@ func (r *Recorder) Decisions(n int) []Decision {
 	}
 	return all
 }
+
+// EventsFor returns every buffered span event of one query, oldest-
+// first — the /debug/trace?query=<id> filter, and the hop an exemplar
+// id from a histogram bucket links through to its trace span.
+func (r *Recorder) EventsFor(query int64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, ev := range r.eventsLocked() {
+		if ev.Query == query {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// EventCap returns the span-event ring capacity; Events can never return
+// more than this many, so handlers clamp their n parameter against it.
+func (r *Recorder) EventCap() int { return r.eventCap }
+
+// DecisionCap returns the decision ring capacity.
+func (r *Recorder) DecisionCap() int { return r.decCap }
 
 // Dropped reports how many events and decisions the rings have
 // overwritten since creation.

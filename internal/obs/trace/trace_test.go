@@ -85,6 +85,48 @@ func TestWriteJSONLDeterministic(t *testing.T) {
 	}
 }
 
+func TestEventsForFiltersOneQuery(t *testing.T) {
+	r := New(16, 4)
+	r.Record(Event{T: 1, Kind: KindArrive, Query: 1})
+	r.Record(Event{T: 1, Kind: KindArrive, Query: 2})
+	r.Record(Event{T: 2, Kind: KindExecute, Query: 1})
+	r.Record(Event{T: 3, Kind: KindOutcome, Query: 1, Outcome: "success",
+		Stages: &StageBreakdown{QueueWait: 1, Exec: 1, Total: 2}})
+	got := r.EventsFor(1)
+	if len(got) != 3 {
+		t.Fatalf("EventsFor(1) returned %d events, want 3: %+v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatal("filtered events out of sequence order")
+		}
+	}
+	if got[2].Stages == nil || got[2].Stages.Total != 2 {
+		t.Fatalf("outcome event lost its stage breakdown: %+v", got[2])
+	}
+	if miss := r.EventsFor(99); len(miss) != 0 {
+		t.Fatalf("EventsFor(99) = %+v, want empty", miss)
+	}
+}
+
+func TestCapsReportRingCapacities(t *testing.T) {
+	r := New(4, 2)
+	if r.EventCap() != 4 || r.DecisionCap() != 2 {
+		t.Fatalf("caps = (%d, %d), want (4, 2)", r.EventCap(), r.DecisionCap())
+	}
+	d := New(0, 0)
+	if d.EventCap() != DefaultEventCap || d.DecisionCap() != DefaultDecisionCap {
+		t.Fatalf("default caps = (%d, %d)", d.EventCap(), d.DecisionCap())
+	}
+}
+
+func TestStageBreakdownSum(t *testing.T) {
+	b := StageBreakdown{QueueWait: 0.5, LockWait: 0.25, Exec: 1, Overhead: 0.125, Total: 1.875}
+	if b.Sum() != b.Total {
+		t.Fatalf("Sum() = %v, Total = %v", b.Sum(), b.Total)
+	}
+}
+
 func TestConcurrentRecording(t *testing.T) {
 	r := New(128, 32)
 	var wg sync.WaitGroup

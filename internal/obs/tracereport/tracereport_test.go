@@ -1,0 +1,190 @@
+package tracereport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"unitdb/internal/core"
+	"unitdb/internal/core/usm"
+	"unitdb/internal/engine"
+	"unitdb/internal/obs/trace"
+	"unitdb/internal/workload"
+)
+
+// synthDump builds a small hand-written dump covering every event kind.
+func synthDump(t *testing.T) []byte {
+	t.Helper()
+	r := trace.New(64, 8)
+	r.Record(trace.Event{T: 0.0, Kind: trace.KindArrive, Query: 1, Items: 2, Deadline: 1})
+	r.Record(trace.Event{T: 0.0, Kind: trace.KindAdmit, Query: 1})
+	r.Record(trace.Event{T: 0.0, Kind: trace.KindQueue, Query: 1})
+	r.Record(trace.Event{T: 0.1, Kind: trace.KindExecute, Query: 1, Wait: 0.1})
+	r.Record(trace.Event{T: 0.2, Kind: trace.KindPreempt, Query: 1})
+	r.Record(trace.Event{T: 0.3, Kind: trace.KindExecute, Query: 1, Wait: 0.3})
+	r.Record(trace.Event{T: 0.4, Kind: trace.KindRestart, Query: 1})
+	r.Record(trace.Event{T: 0.45, Kind: trace.KindBlock, Query: 1})
+	r.Record(trace.Event{T: 0.5, Kind: trace.KindExecute, Query: 1, Wait: 0.5})
+	r.RecordDecision(trace.Decision{T: 0.55, Action: "UU", WindowUSM: 0.5})
+	r.Record(trace.Event{T: 0.6, Kind: trace.KindOutcome, Query: 1, Outcome: "success", Fresh: 1,
+		Stages: &trace.StageBreakdown{QueueWait: 0.25, LockWait: 0.05, Exec: 0.1, Overhead: 0.2, Total: 0.6}})
+	r.Record(trace.Event{T: 0.1, Kind: trace.KindArrive, Query: 2, Items: 1, Deadline: 1.1})
+	r.Record(trace.Event{T: 0.1, Kind: trace.KindReject, Query: 2})
+	r.Record(trace.Event{T: 0.1, Kind: trace.KindOutcome, Query: 2, Outcome: "rejected", Stages: &trace.StageBreakdown{}})
+	r.RecordDecision(trace.Decision{T: 0.9, Action: "DU TAC", WindowUSM: 0.25})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnalyzeSynthetic(t *testing.T) {
+	rep, err := Analyze(bytes.NewReader(synthDump(t)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 2 || rep.WithStage != 2 || rep.Decisions != 2 {
+		t.Fatalf("counts: %d queries, %d with stages, %d decisions", rep.Queries, rep.WithStage, rep.Decisions)
+	}
+	var total StageStats
+	for _, s := range rep.PerStage {
+		if s.Stage == "total" {
+			total = s
+		}
+	}
+	if total.Max != 0.6 || total.Count != 2 {
+		t.Fatalf("total stats = %+v", total)
+	}
+	if len(rep.Critical) != 2 || rep.Critical[0].Query != 1 {
+		t.Fatalf("critical path = %+v", rep.Critical)
+	}
+	if rep.Critical[0].Restarts != 1 || rep.Critical[0].Preempts != 1 || rep.Critical[0].Blocks != 1 {
+		t.Fatalf("query 1's span counters = %+v", rep.Critical[0])
+	}
+	// Outcomes sorted lexically: rejected before success.
+	if len(rep.Outcomes) != 2 || rep.Outcomes[0].Outcome != "rejected" || rep.Outcomes[1].Outcome != "success" {
+		t.Fatalf("outcomes = %+v", rep.Outcomes)
+	}
+	if rep.Outcomes[1].Dominant != "queue_wait" {
+		t.Fatalf("success dominant = %q, want queue_wait", rep.Outcomes[1].Dominant)
+	}
+	// Query 2 resolves at 0.1 (first window, t <= 0.55); query 1 at 0.6
+	// (second window, (0.55, 0.9]).
+	if len(rep.Windows) != 2 {
+		t.Fatalf("windows = %+v", rep.Windows)
+	}
+	if rep.Windows[0].Resolved != 1 || rep.Windows[1].Resolved != 1 {
+		t.Fatalf("window resolution counts = %+v", rep.Windows)
+	}
+	if rep.Windows[1].MeanTotal != 0.6 {
+		t.Fatalf("second window mean total = %v, want 0.6", rep.Windows[1].MeanTotal)
+	}
+}
+
+func TestAnalyzeRejectsGarbage(t *testing.T) {
+	if _, err := Analyze(strings.NewReader("{not json\n"), 5); err == nil {
+		t.Fatal("garbage line did not error")
+	}
+	rep, err := Analyze(strings.NewReader(""), 5)
+	if err != nil || rep.Queries != 0 {
+		t.Fatalf("empty dump: rep=%+v err=%v", rep, err)
+	}
+}
+
+// engineDump runs the deterministic UNIT workload with tracing and
+// returns the JSONL dump.
+func engineDump(t *testing.T) []byte {
+	t.Helper()
+	qc := workload.SmallQueryConfig()
+	qc.NumItems = 96
+	qc.NumQueries = 2000
+	qc.Duration = 8000
+	qc.NumBursts = 4
+	q, err := workload.GenerateQueries(qc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, workload.Uniform), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New(1<<20, 1<<20)
+	weights := usm.Weights{Cr: 0.25, Cfm: 0.75, Cfs: 0.25}
+	pcfg := core.DefaultConfig(weights)
+	pcfg.Seed = 7
+	e, err := engine.New(engine.Config{Workload: w, Weights: weights, Seed: 11, PhaseUpdates: true, Trace: rec}, core.New(pcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReportByteIdentical: analyzing the same engine dump twice — and
+// dumps of two same-seed runs — renders byte-identical text and JSON
+// reports, the acceptance criterion for offline analysis.
+func TestReportByteIdentical(t *testing.T) {
+	d1, d2 := engineDump(t), engineDump(t)
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("same-seed dumps differ; determinism broke upstream of the analyzer")
+	}
+	render := func(d []byte) string {
+		rep, err := Analyze(bytes.NewReader(d), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	r1, r2 := render(d1), render(d2)
+	if r1 != r2 {
+		t.Fatal("same dump rendered different reports")
+	}
+	if !strings.Contains(r1, "per-stage latency") || !strings.Contains(r1, "critical path") {
+		t.Fatalf("report missing sections:\n%s", r1)
+	}
+}
+
+// TestReportConservesEngineRun: the analyzer's view of an engine dump
+// obeys the stage model — totals match spans and the per-stage means
+// stay within the total.
+func TestReportConservesEngineRun(t *testing.T) {
+	rep, err := Analyze(bytes.NewReader(engineDump(t)), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 || rep.WithStage != rep.Queries {
+		t.Fatalf("engine dump: %d queries, %d with stages — every outcome must carry a breakdown", rep.Queries, rep.WithStage)
+	}
+	var sumShares float64
+	for _, s := range rep.PerStage {
+		if s.Stage == "total" {
+			continue
+		}
+		sumShares += s.Share
+	}
+	if sumShares < 0.999 || sumShares > 1.001 {
+		t.Fatalf("stage shares sum to %v, want ~1 (conservation)", sumShares)
+	}
+	if len(rep.Critical) != 5 {
+		t.Fatalf("critical path has %d entries, want 5", len(rep.Critical))
+	}
+	for i := 1; i < len(rep.Critical); i++ {
+		if rep.Critical[i].Stages.Total > rep.Critical[i-1].Stages.Total {
+			t.Fatal("critical path not sorted by total")
+		}
+	}
+	if rep.Decisions == 0 || len(rep.Windows) != rep.Decisions {
+		t.Fatalf("decision windows: %d for %d decisions", len(rep.Windows), rep.Decisions)
+	}
+}

@@ -27,8 +27,9 @@ const statusClientClosedRequest = 499
 //	POST /update?item=3&value=1.23&work=5ms
 //	GET  /stats[?window=30s]
 //	GET  /metrics
-//	GET  /debug/trace?n=100
+//	GET  /debug/trace?n=100[&query=17]
 //	GET  /debug/controller?n=50
+//	GET  /debug/slow?n=10
 //	GET  /healthz
 //
 // Outcomes map to status codes: success 200, data-stale 206 (the result is
@@ -42,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/controller", s.handleController)
+	mux.HandleFunc("/debug/slow", s.handleSlow)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -180,6 +182,9 @@ func parseN(r *http.Request) (int, error) {
 }
 
 // handleTrace serves the last n query-lifecycle span events as JSON.
+// n absent (or 0) returns everything buffered; n is capped at the ring
+// capacity, beyond which no more events can exist. query=<id> filters to
+// one query's spans — the hop a histogram-bucket exemplar links through.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -190,7 +195,27 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if n > s.obs.rec.EventCap() {
+		n = s.obs.rec.EventCap()
+	}
 	evDropped, _ := s.obs.rec.Dropped()
+	if raw := r.URL.Query().Get("query"); raw != "" {
+		id, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad query: must be an integer query id", http.StatusBadRequest)
+			return
+		}
+		events := s.obs.rec.EventsFor(id)
+		if n > 0 && n < len(events) {
+			events = events[len(events)-n:]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"query":   id,
+			"events":  events,
+			"dropped": evDropped,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"events":  s.obs.rec.Events(n),
 		"dropped": evDropped,
@@ -198,7 +223,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleController serves the last n Load Balancing Controller decisions
-// as JSON.
+// as JSON. n absent (or 0) returns everything buffered; n is capped at
+// the decision-ring capacity.
 func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -209,10 +235,33 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if n > s.obs.rec.DecisionCap() {
+		n = s.obs.rec.DecisionCap()
+	}
 	_, decDropped := s.obs.rec.Dropped()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"decisions": s.obs.rec.Decisions(n),
 		"dropped":   decDropped,
+	})
+}
+
+// handleSlow serves the n slowest resolved queries retained so far,
+// slowest first, each with its latency and stage breakdown. n absent
+// (or 0) returns everything retained (at most the tracker's capacity).
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := parseN(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	entries := s.obs.slow.topN(n)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slowest": entries,
+		"count":   len(entries),
 	})
 }
 

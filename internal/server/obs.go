@@ -1,11 +1,15 @@
 package server
 
 import (
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"unitdb/internal/obs/metrics"
 	"unitdb/internal/obs/trace"
 	"unitdb/internal/txn"
+	"unitdb/internal/version"
 )
 
 // latency histogram layout: 50 equal buckets over [0, 2.5s) — queries
@@ -34,6 +38,8 @@ type serverObs struct {
 	drained   *metrics.Counter
 	updates   map[bool]*metrics.Counter // keyed by applied
 	latency   *metrics.Histogram
+	stages    map[string]*metrics.Histogram // keyed by stage label
+	slow      *slowTracker
 	usmWindow *metrics.Gauge
 	usmTotal  *metrics.Gauge
 	cflex     *metrics.Gauge
@@ -49,6 +55,18 @@ type serverObs struct {
 // signals.
 var lbcActionLabels = []string{"loosen_ac", "tighten_ac", "degrade_update", "upgrade_update"}
 
+// stageLabels are the exposition labels of the latency-attribution
+// stages, matching the trace.StageBreakdown fields. The live server has
+// no lock manager and never restarts an attempt, so lock_wait and
+// overhead stay at zero — the series exist anyway so dashboards keep one
+// shape across the simulator and the live server, and so per-stage
+// counts reconcile with the outcome counters (every resolved query
+// observes every stage, zeros included).
+var stageLabels = []string{"queue_wait", "lock_wait", "exec", "overhead"}
+
+// slowCap bounds the /debug/slow top-N tracker.
+const slowCap = 64
+
 // newServerObs builds the observability surface. rec is the span-event
 // recorder to use — Config.Trace when a harness injects its own, nil for
 // a fresh internal ring of traceCap events.
@@ -62,6 +80,8 @@ func newServerObs(traceCap int, rec *trace.Recorder) *serverObs {
 		rec:      rec,
 		outcomes: make(map[Outcome]*metrics.Counter),
 		updates:  make(map[bool]*metrics.Counter),
+		stages:   make(map[string]*metrics.Histogram),
+		slow:     newSlowTracker(slowCap),
 		actions:  make(map[string]*metrics.Counter),
 	}
 	for _, out := range []Outcome{OutcomeSuccess, OutcomeRejected, OutcomeDMF, OutcomeDSF, OutcomeCanceled} {
@@ -82,6 +102,16 @@ func newServerObs(traceCap int, rec *trace.Recorder) *serverObs {
 	o.latency = reg.Histogram("unit_query_latency_seconds",
 		"Wall-clock latency of resolved queries, all outcomes.",
 		latencyLo, latencyHi, latencyBuckets)
+	for _, st := range stageLabels {
+		o.stages[st] = reg.Histogram("unit_query_stage_seconds",
+			"Wall-clock time resolved queries spent per pipeline stage; bucket exemplars carry the last query id observed.",
+			latencyLo, latencyHi, latencyBuckets,
+			metrics.Label{Key: "stage", Value: st})
+	}
+	reg.Gauge("unit_build_info",
+		"Build metadata; the value is always 1.",
+		metrics.Label{Key: "goversion", Value: runtime.Version()},
+		metrics.Label{Key: "version", Value: version.Version}).Set(1)
 	o.usmWindow = reg.Gauge("unit_usm_window",
 		"User Satisfaction Metric over the current control window (Eq. 5).")
 	o.usmTotal = reg.Gauge("unit_usm",
@@ -106,14 +136,121 @@ func newServerObs(traceCap int, rec *trace.Recorder) *serverObs {
 	return o
 }
 
-// observeQuery tallies one resolved query into the registry. It runs
-// lock-free (pure atomics) after s.mu is released, so the metrics hot
-// path never blocks a worker or another client.
+// observeQuery tallies one resolved query into the registry. The counter
+// and histogram updates run lock-free (pure atomics) after s.mu is
+// released, so the metrics hot path never blocks a worker or another
+// client; only the bounded slow tracker takes its own small lock, off
+// every worker's critical path. Every resolved query observes every
+// stage series — zeros included, and all-zero when Stages is nil (a
+// request that never entered the queue) — so per-stage counts reconcile
+// exactly with the outcome counters. The query id rides along as the
+// bucket exemplar, linking a fat bucket to /debug/trace?query=<id>.
 func (o *serverObs) observeQuery(resp QueryResponse) {
 	if c := o.outcomes[resp.Outcome]; c != nil {
 		c.Inc()
 	}
-	o.latency.Observe(resp.Latency.Seconds())
+	o.latency.ObserveEx(resp.Latency.Seconds(), resp.Query)
+	var b trace.StageBreakdown
+	if resp.Stages != nil {
+		b = *resp.Stages
+	}
+	o.stages["queue_wait"].ObserveEx(b.QueueWait, resp.Query)
+	o.stages["lock_wait"].ObserveEx(b.LockWait, resp.Query)
+	o.stages["exec"].ObserveEx(b.Exec, resp.Query)
+	o.stages["overhead"].ObserveEx(b.Overhead, resp.Query)
+	o.slow.observe(slowEntry{
+		Query:   resp.Query,
+		Outcome: resp.Outcome,
+		Latency: resp.Latency.Seconds(),
+		Stages:  resp.Stages,
+	})
+}
+
+// slowEntry is one resolved query retained by the top-N-slowest tracker,
+// the JSON shape of /debug/slow.
+type slowEntry struct {
+	Query   int64                 `json:"query"`
+	Outcome Outcome               `json:"outcome"`
+	Latency float64               `json:"latency_seconds"`
+	Stages  *trace.StageBreakdown `json:"stages,omitempty"`
+}
+
+// slowTracker retains the cap slowest resolved queries seen so far, for
+// GET /debug/slow?n=. It is a small min-heap ordered by latency: the
+// root is the fastest retained entry, evicted whenever a slower query
+// arrives, so membership is exact (the true top-cap), not a sample.
+type slowTracker struct {
+	mu      sync.Mutex
+	cap     int
+	entries []slowEntry // guarded by mu; min-heap by Latency
+}
+
+func newSlowTracker(cap int) *slowTracker {
+	return &slowTracker{cap: cap}
+}
+
+// observe offers one resolved query to the tracker.
+func (t *slowTracker) observe(e slowEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.entries) < t.cap {
+		t.entries = append(t.entries, e)
+		t.siftUpLocked(len(t.entries) - 1)
+		return
+	}
+	if e.Latency <= t.entries[0].Latency {
+		return
+	}
+	t.entries[0] = e
+	t.siftDownLocked(0)
+}
+
+func (t *slowTracker) siftUpLocked(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.entries[p].Latency <= t.entries[i].Latency {
+			return
+		}
+		t.entries[p], t.entries[i] = t.entries[i], t.entries[p]
+		i = p
+	}
+}
+
+func (t *slowTracker) siftDownLocked(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(t.entries) && t.entries[l].Latency < t.entries[min].Latency {
+			min = l
+		}
+		if r < len(t.entries) && t.entries[r].Latency < t.entries[min].Latency {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.entries[i], t.entries[min] = t.entries[min], t.entries[i]
+		i = min
+	}
+}
+
+// topN returns the n slowest retained queries, slowest first (ties broken
+// by query id for a stable order). n <= 0 or beyond the retained set
+// returns everything retained.
+func (t *slowTracker) topN(n int) []slowEntry {
+	t.mu.Lock()
+	out := append([]slowEntry(nil), t.entries...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Latency != out[j].Latency {
+			return out[i].Latency > out[j].Latency
+		}
+		return out[i].Query < out[j].Query
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
 }
 
 // recordActions tallies one decision's control signals.

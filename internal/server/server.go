@@ -118,6 +118,14 @@ type QueryResponse struct {
 	Values    map[string]float64 `json:"values,omitempty"`
 	Freshness float64            `json:"freshness"`
 	Latency   time.Duration      `json:"latency_ns"`
+	// Query is the server-assigned query id — the handle for following
+	// the query through /debug/trace?query=<id> and the exemplar ids on
+	// the stage histograms. Zero when the request never reached admission
+	// (malformed items, server closed).
+	Query int64 `json:"query,omitempty"`
+	// Stages attributes the latency to pipeline stages (wall seconds).
+	// Nil when the query never entered the queue.
+	Stages *trace.StageBreakdown `json:"stages,omitempty"`
 }
 
 // UpdateRequest is an update-feed write.
@@ -176,6 +184,30 @@ type liveQuery struct {
 	tx    *txn.Txn
 	done  chan QueryResponse
 	index int
+
+	// Wall-time stage stamps (seconds since server start), for the
+	// StageBreakdown finalized with the outcome. Both are written and read
+	// under Server.mu. execStart zero means no worker ever ran the query.
+	enqueuedAt float64 // guarded by mu
+	execStart  float64 // guarded by mu
+}
+
+// stagesLocked computes the query's wall-time stage attribution at
+// finalize instant now; the caller holds Server.mu. The live server has
+// no lock manager and never restarts an attempt, so only QueueWait and
+// Exec can be nonzero: queue wait runs from enqueue to the worker pickup
+// (or to finalization, for queries resolved while still queued), exec
+// from pickup to finalization.
+func (q *liveQuery) stagesLocked(now float64) *trace.StageBreakdown {
+	b := &trace.StageBreakdown{}
+	if q.execStart > 0 {
+		b.QueueWait = q.execStart - q.enqueuedAt
+		b.Exec = now - q.execStart
+	} else {
+		b.QueueWait = now - q.enqueuedAt
+	}
+	b.Total = b.Sum()
+	return b
 }
 
 type queryHeap []*liveQuery
@@ -368,8 +400,9 @@ func (s *Server) Close() {
 		s.drained++
 		s.obs.drained.Inc()
 		s.backlog -= q.req.Work.Seconds()
-		s.finalizeLocked(q.tx, txn.OutcomeRejected)
-		q.done <- QueryResponse{Outcome: OutcomeRejected}
+		st := q.stagesLocked(s.now())
+		s.finalizeLocked(q.tx, txn.OutcomeRejected, st)
+		q.done <- QueryResponse{Outcome: OutcomeRejected, Query: q.tx.ID, Stages: st}
 	}
 	s.queue = nil
 	s.queueGaugesLocked()
@@ -467,18 +500,18 @@ func (s *Server) queryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 		s.shed++
 		s.obs.shed.Inc()
 		s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindReject, Query: tx.ID})
-		s.finalizeLocked(tx, txn.OutcomeRejected)
+		s.finalizeLocked(tx, txn.OutcomeRejected, nil)
 		s.mu.Unlock()
-		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
+		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started), Query: tx.ID}
 	}
 	if s.ac.Admit(now, tx, view) != admission.Admitted {
 		s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindReject, Query: tx.ID})
-		s.finalizeLocked(tx, txn.OutcomeRejected)
+		s.finalizeLocked(tx, txn.OutcomeRejected, nil)
 		s.mu.Unlock()
-		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started)}
+		return QueryResponse{Outcome: OutcomeRejected, Latency: time.Since(started), Query: tx.ID}
 	}
 	s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindAdmit, Query: tx.ID})
-	q := &liveQuery{req: req, ctx: ctx, tx: tx, done: make(chan QueryResponse, 1)}
+	q := &liveQuery{req: req, ctx: ctx, tx: tx, done: make(chan QueryResponse, 1), enqueuedAt: s.now()}
 	heap.Push(&s.queue, q)
 	s.backlog += req.Work.Seconds()
 	s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindQueue, Query: tx.ID})
@@ -509,9 +542,10 @@ func (s *Server) queryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 			// The user is gone: nothing enters the USM accountant, the
 			// cancellation is only tallied.
 			s.canceled++
-			s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: tx.ID, Outcome: string(OutcomeCanceled)})
+			st := q.stagesLocked(s.now())
+			s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: tx.ID, Outcome: string(OutcomeCanceled), Stages: st})
 			s.mu.Unlock()
-			return QueryResponse{Outcome: OutcomeCanceled, Latency: time.Since(started)}
+			return QueryResponse{Outcome: OutcomeCanceled, Latency: time.Since(started), Query: tx.ID, Stages: st}
 		}
 		s.mu.Unlock()
 		resp := <-q.done
@@ -522,9 +556,10 @@ func (s *Server) queryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 		// it concurrently; whoever finalizes first wins.
 		s.mu.Lock()
 		if dequeue() {
-			s.finalizeLocked(tx, txn.OutcomeDMF)
+			st := q.stagesLocked(s.now())
+			s.finalizeLocked(tx, txn.OutcomeDMF, st)
 			s.mu.Unlock()
-			return QueryResponse{Outcome: OutcomeDMF, Latency: time.Since(started)}
+			return QueryResponse{Outcome: OutcomeDMF, Latency: time.Since(started), Query: tx.ID, Stages: st}
 		}
 		s.mu.Unlock()
 		// Already executing: wait for the worker's verdict.
@@ -717,13 +752,18 @@ func (s *Server) retryAfterLocked() time.Duration {
 // accountant and feeds the modulation layer; callers hold s.mu.
 //
 //unitlint:outcome tx
-func (s *Server) finalizeLocked(tx *txn.Txn, o txn.Outcome) {
+func (s *Server) finalizeLocked(tx *txn.Txn, o txn.Outcome, stages *trace.StageBreakdown) {
 	tx.Outcome = o
 	s.acct.Record(o)
 	for _, item := range tx.Items {
 		s.mod.OnQueryAccess(item, tx.EstExec, tx.RelDeadline)
 	}
-	s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: tx.ID, Outcome: o.String()})
+	if stages == nil {
+		// Rejected at admission: nothing accrued, mirroring the engine's
+		// all-zero breakdown for rejects.
+		stages = &trace.StageBreakdown{}
+	}
+	s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: tx.ID, Outcome: o.String(), Stages: stages})
 	// Ring-append into the windowed-USM history (GET /stats?window=).
 	st := outcomeStamp{at: time.Now(), o: o}
 	if len(s.winLog) < winLogCap {
@@ -757,19 +797,22 @@ func (s *Server) worker() {
 			// Client already gone: a canceled query never occupies the
 			// worker and never enters the USM.
 			s.canceled++
-			s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: q.tx.ID, Outcome: string(OutcomeCanceled)})
+			st := q.stagesLocked(s.now())
+			s.obs.rec.Record(trace.Event{T: s.now(), Kind: trace.KindOutcome, Query: q.tx.ID, Outcome: string(OutcomeCanceled), Stages: st})
 			s.mu.Unlock()
-			q.done <- QueryResponse{Outcome: OutcomeCanceled}
+			q.done <- QueryResponse{Outcome: OutcomeCanceled, Query: q.tx.ID, Stages: st}
 			//unitlint:ignore outcomeonce -- canceled queries bypass the USM by design: the user is gone, so q.tx stays unresolved and only s.canceled tallies it
 			continue
 		}
 		now := s.now()
 		if now >= q.tx.Deadline {
-			s.finalizeLocked(q.tx, txn.OutcomeDMF)
+			st := q.stagesLocked(now)
+			s.finalizeLocked(q.tx, txn.OutcomeDMF, st)
 			s.mu.Unlock()
-			q.done <- QueryResponse{Outcome: OutcomeDMF}
+			q.done <- QueryResponse{Outcome: OutcomeDMF, Query: q.tx.ID, Stages: st}
 			continue
 		}
+		q.execStart = now
 		s.obs.rec.Record(trace.Event{T: now, Kind: trace.KindExecute, Query: q.tx.ID, Wait: now - q.tx.Arrival})
 		// Read phase: sample freshness and values.
 		fresh := s.store.QueryFreshness(q.req.Items)
@@ -793,22 +836,25 @@ func (s *Server) worker() {
 			// pool never shrinks.
 			s.panicked++
 			s.obs.panicked.Inc()
-			s.finalizeLocked(q.tx, txn.OutcomeDMF)
+			st := q.stagesLocked(s.now())
+			s.finalizeLocked(q.tx, txn.OutcomeDMF, st)
 			s.mu.Unlock()
-			q.done <- QueryResponse{Outcome: OutcomeDMF}
+			q.done <- QueryResponse{Outcome: OutcomeDMF, Query: q.tx.ID, Stages: st}
 			continue
 		}
 		outcome := txn.OutcomeSuccess
-		resp := QueryResponse{Outcome: OutcomeSuccess, Values: values, Freshness: fresh}
+		resp := QueryResponse{Outcome: OutcomeSuccess, Values: values, Freshness: fresh, Query: q.tx.ID}
 		switch {
 		case s.now() >= q.tx.Deadline:
 			outcome = txn.OutcomeDMF
-			resp = QueryResponse{Outcome: OutcomeDMF}
+			resp = QueryResponse{Outcome: OutcomeDMF, Query: q.tx.ID}
 		case fresh < q.req.Freshness:
 			outcome = txn.OutcomeDSF
 			resp.Outcome = OutcomeDSF
 		}
-		s.finalizeLocked(q.tx, outcome)
+		st := q.stagesLocked(s.now())
+		resp.Stages = st
+		s.finalizeLocked(q.tx, outcome, st)
 		s.mu.Unlock()
 		q.done <- resp
 	}

@@ -1,0 +1,225 @@
+// Latency-attribution tests for the live server: stage breakdowns on
+// responses conserve against the measured latency, the stage histograms
+// reconcile with the outcome counters and carry exemplars, and the
+// /debug/slow and /debug/trace?query= endpoints link histograms back to
+// trace spans.
+package server
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"unitdb/internal/obs/trace"
+)
+
+// TestResponseStagesConserve: a resolved query's stage durations sum to
+// its Total, and the total tracks the measured latency (the latency also
+// spans request validation outside the stage model, so it may exceed the
+// breakdown slightly — never the other way around beyond scheduling
+// noise).
+func TestResponseStagesConserve(t *testing.T) {
+	s := newTestServer(t)
+	for i := 0; i < 4; i++ {
+		resp := s.Query(QueryRequest{Items: []int{i % 4}, Work: 5 * time.Millisecond, Deadline: time.Second})
+		if resp.Outcome != OutcomeSuccess {
+			t.Fatalf("query %d resolved %s, want success", i, resp.Outcome)
+		}
+		if resp.Query == 0 {
+			t.Fatal("response carries no query id")
+		}
+		b := resp.Stages
+		if b == nil {
+			t.Fatal("response carries no stage breakdown")
+		}
+		if math.Abs(b.Sum()-b.Total) > 1e-9 {
+			t.Fatalf("stage sum %v != total %v", b.Sum(), b.Total)
+		}
+		if b.Exec <= 0 {
+			t.Fatalf("executed query shows no exec time: %+v", *b)
+		}
+		if b.LockWait != 0 || b.Overhead != 0 {
+			t.Fatalf("live server accrued lock wait/overhead: %+v", *b)
+		}
+		lat := resp.Latency.Seconds()
+		if b.Total > lat+0.05 {
+			t.Fatalf("breakdown total %v exceeds measured latency %v", b.Total, lat)
+		}
+		if lat-b.Total > 0.25 {
+			t.Fatalf("breakdown total %v unaccountably below latency %v", b.Total, lat)
+		}
+	}
+	// A rejected-at-admission query reports an all-zero breakdown.
+	rej := s.Query(QueryRequest{Items: []int{999999}, Deadline: time.Second})
+	if rej.Outcome != OutcomeRejected {
+		t.Fatalf("out-of-range query resolved %s", rej.Outcome)
+	}
+}
+
+// TestStageHistogramsReconcile: every resolved query observes every
+// stage series exactly once, so per-stage counts equal the outcome-
+// counter sum and the latency-histogram count.
+func TestStageHistogramsReconcile(t *testing.T) {
+	s := newTestServer(t)
+	const n = 6
+	for i := 0; i < n; i++ {
+		s.Query(QueryRequest{Items: []int{i % 4}, Deadline: time.Second})
+	}
+	body := scrape(t, s)
+	for _, st := range stageLabels {
+		want := `unit_query_stage_seconds_count{stage="` + st + `"} ` + strconv.Itoa(n)
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q:\n%s", want, grepFamily(body, "unit_query_stage_seconds_count"))
+		}
+	}
+	if !strings.Contains(body, "unit_query_latency_seconds_count "+strconv.Itoa(n)) {
+		t.Errorf("latency count out of step:\n%s", grepFamily(body, "unit_query_latency_seconds_count"))
+	}
+}
+
+// TestStageHistogramExemplars: the stage histograms remember the query
+// id of each bucket's most recent observation, and the id resolves
+// through /debug/trace?query= to that query's spans.
+func TestStageHistogramExemplars(t *testing.T) {
+	s := newTestServer(t)
+	resp := s.Query(QueryRequest{Items: []int{1}, Work: 2 * time.Millisecond, Deadline: time.Second})
+	if resp.Outcome != OutcomeSuccess {
+		t.Fatalf("query resolved %s", resp.Outcome)
+	}
+	var found bool
+	for _, fam := range s.Metrics().Snapshot() {
+		if fam.Name != "unit_query_stage_seconds" && fam.Name != "unit_query_latency_seconds" {
+			continue
+		}
+		for _, ser := range fam.Series {
+			if ser.Hist == nil {
+				continue
+			}
+			for _, ex := range ser.Hist.Exemplars {
+				if ex == resp.Query {
+					found = true
+				}
+			}
+			if ser.Hist.UnderEx == resp.Query || ser.Hist.OverEx == resp.Query {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("query id %d appears in no histogram exemplar", resp.Query)
+	}
+	spans := s.TraceRecorder().EventsFor(resp.Query)
+	if len(spans) == 0 {
+		t.Fatalf("exemplar id %d resolves to no trace spans", resp.Query)
+	}
+	last := spans[len(spans)-1]
+	if last.Kind != trace.KindOutcome || last.Stages == nil {
+		t.Fatalf("query %d's final span is %+v, want an outcome with stages", resp.Query, last)
+	}
+}
+
+// TestDebugSlowEndpoint: /debug/slow returns the slowest queries in
+// descending latency order with their breakdowns, honors n, and caps at
+// the retained set.
+func TestDebugSlowEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	works := []time.Duration{2, 20, 8, 4} // milliseconds
+	for _, w := range works {
+		s.Query(QueryRequest{Items: []int{1}, Work: w * time.Millisecond, Deadline: time.Second})
+	}
+
+	var out struct {
+		Slowest []slowEntry `json:"slowest"`
+		Count   int         `json:"count"`
+	}
+	getJSON(t, ts.URL+"/debug/slow?n=2", &out)
+	if out.Count != 2 || len(out.Slowest) != 2 {
+		t.Fatalf("n=2 returned %d entries", len(out.Slowest))
+	}
+	if out.Slowest[0].Latency < out.Slowest[1].Latency {
+		t.Fatalf("slowest not in descending order: %+v", out.Slowest)
+	}
+	for _, e := range out.Slowest {
+		if e.Query == 0 || e.Stages == nil {
+			t.Fatalf("slow entry lacks id or stages: %+v", e)
+		}
+	}
+
+	// Absent n returns everything retained.
+	getJSON(t, ts.URL+"/debug/slow", &out)
+	if out.Count != len(works) {
+		t.Fatalf("default n returned %d entries, want %d", out.Count, len(works))
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/slow?n=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("n=-1 returned %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTraceQueryFilter: /debug/trace?query=<id> returns only that
+// query's spans; a bad id is a named-field 400; n beyond the ring cap is
+// accepted (capped, not rejected).
+func TestTraceQueryFilter(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	a := s.Query(QueryRequest{Items: []int{1}, Deadline: time.Second})
+	s.Query(QueryRequest{Items: []int{2}, Deadline: time.Second})
+
+	var tr struct {
+		Query  int64         `json:"query"`
+		Events []trace.Event `json:"events"`
+	}
+	getJSON(t, ts.URL+"/debug/trace?query="+strconv.FormatInt(a.Query, 10), &tr)
+	if tr.Query != a.Query || len(tr.Events) == 0 {
+		t.Fatalf("filter returned %d events for query %d", len(tr.Events), tr.Query)
+	}
+	for _, ev := range tr.Events {
+		if ev.Query != a.Query {
+			t.Fatalf("filtered stream leaked query %d's event: %+v", ev.Query, ev)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/trace?query=zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("query=zz returned %d, want 400", resp.StatusCode)
+	}
+
+	huge := strconv.Itoa(s.TraceRecorder().EventCap() * 10)
+	var all struct {
+		Events []trace.Event `json:"events"`
+	}
+	getJSON(t, ts.URL+"/debug/trace?n="+huge, &all)
+	if len(all.Events) > s.TraceRecorder().EventCap() {
+		t.Fatalf("n beyond the ring cap returned %d events", len(all.Events))
+	}
+}
+
+// TestBuildInfoMetric: the exposition carries unit_build_info with the
+// version labels, value 1.
+func TestBuildInfoMetric(t *testing.T) {
+	s := newTestServer(t)
+	body := scrape(t, s)
+	lines := grepFamily(body, "unit_build_info")
+	if !strings.Contains(lines, `version="`) || !strings.Contains(lines, `goversion="go`) {
+		t.Fatalf("unit_build_info lacks version labels:\n%s", lines)
+	}
+	if !strings.Contains(lines, "} 1") {
+		t.Fatalf("unit_build_info value is not 1:\n%s", lines)
+	}
+}

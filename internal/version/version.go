@@ -1,0 +1,8 @@
+// Package version pins the build's version string in a leaf package, so
+// both the root package and internal/server (which the root imports) can
+// expose it without an import cycle. Bump on release-worthy changes.
+package version
+
+// Version identifies the unitdb build, surfaced by `unitd -version` and
+// the unit_build_info metric.
+const Version = "0.9.0"

@@ -1,6 +1,13 @@
 package unit
 
-import "unitdb/internal/obs/trace"
+import (
+	"unitdb/internal/obs/trace"
+	"unitdb/internal/version"
+)
+
+// Version identifies this unitdb build (also on `unitd -version` and the
+// unit_build_info metric).
+const Version = version.Version
 
 // TraceRecorder buffers query-lifecycle span events and controller
 // decisions. Attach one to a simulation via Config.Trace to observe a
@@ -10,6 +17,10 @@ type TraceRecorder = trace.Recorder
 
 // TraceEvent is one span event of a query's lifecycle.
 type TraceEvent = trace.Event
+
+// StageBreakdown attributes one query's lifetime to pipeline stages,
+// finalized on its outcome event.
+type StageBreakdown = trace.StageBreakdown
 
 // ControllerDecision is one logged Load Balancing Controller firing.
 type ControllerDecision = trace.Decision
