@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint vet unitlint unitlint-self lint-baseline chaos scenarios fuzz obs-smoke bench bench-baseline bench-smoke bench-check golden ci
+.PHONY: all build test shard-matrix race lint vet unitlint unitlint-self lint-baseline chaos scenarios fuzz obs-smoke bench bench-baseline bench-smoke bench-check golden ci
 
 all: build
 
@@ -9,6 +9,16 @@ build:
 
 test:
 	$(GO) test ./...
+	$(MAKE) shard-matrix
+
+# Shard-count invariance leg: the golden replication pin (experiments
+# reads UNIT_SHARDS, comma-separated), the front-door router property
+# suites (engine + live server) and the weak-scaled scenario replays,
+# all under -race. shards=1 staying green proves sharding disabled is a
+# bitwise no-op; 2 and 8 pin the scatter-gather and merge laws.
+SHARD_MATRIX ?= 1,2,8
+shard-matrix:
+	UNIT_SHARDS=$(SHARD_MATRIX) $(GO) test -race -run 'Shard' ./internal/engine/ ./internal/experiments/ ./internal/scenario/ ./internal/server/
 
 # The live server (internal/server) is the concurrency hot spot; -race
 # over the whole tree keeps the guarded-by annotations honest.
@@ -70,12 +80,14 @@ scenarios:
 	$(GO) run ./cmd/unittrace scenario-traces/*.jsonl > scenario-traces/critical-path.txt
 	tail -n 5 scenario-traces/critical-path.txt
 
-# Fuzz smoke: each target briefly, catching regressions in the HTTP input
-# contract without an open-ended fuzzing session.
+# Fuzz smoke: each target briefly, catching regressions in the HTTP
+# input contract and the shard router's partition/merge laws without an
+# open-ended fuzzing session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzParseItems -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz=FuzzQueryHandler -fuzztime=$(FUZZTIME) ./internal/server/
+	$(GO) test -fuzz=FuzzShardRouter -fuzztime=$(FUZZTIME) ./internal/engine/
 
 # Observability smoke: boot unitd on an ephemeral local port, then lint
 # the /metrics exposition (cmd/obslint retries the fetch while the server

@@ -50,7 +50,8 @@ func main() {
 func run() int {
 	addr := flag.String("addr", ":8080", "listen address")
 	items := flag.Int("items", 1024, "number of data items")
-	workers := flag.Int("workers", 4, "query worker pool size")
+	workers := flag.Int("workers", 4, "query worker pool size (divided across shards)")
+	shards := flag.Int("shards", 1, "engine shard count; >1 partitions items across independent shards behind one front door")
 	cr := flag.Float64("cr", 0, "rejection penalty C_r")
 	cfm := flag.Float64("cfm", 0, "deadline-missed penalty C_fm")
 	cfs := flag.Float64("cfs", 0, "data-stale penalty C_fs")
@@ -74,14 +75,28 @@ func run() int {
 	cfg.Weights = unit.Weights{Cr: *cr, Cfm: *cfm, Cfs: *cfs}
 	cfg.ControlPeriod = *control
 
-	srv, err := unit.NewServer(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "unitd: %v\n", err)
-		return 1
+	// Both the single server and the sharded front door serve the same
+	// HTTP contract; unitd only needs the handler and the drain hook.
+	var (
+		handler http.Handler
+		drainFn func()
+	)
+	if *shards > 1 {
+		srv, err := unit.NewShardedServer(cfg, *shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unitd: %v\n", err)
+			return 1
+		}
+		handler, drainFn = srv.Handler(), srv.Close
+	} else {
+		srv, err := unit.NewServer(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unitd: %v\n", err)
+			return 1
+		}
+		handler, drainFn = srv.Handler(), srv.Close
 	}
-	defer srv.Close()
-
-	handler := srv.Handler()
+	defer drainFn()
 	if *withPprof {
 		// Explicit registrations on an outer mux, not the blank import:
 		// importing net/http/pprof would silently publish the profiles on
@@ -111,8 +126,8 @@ func run() int {
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
-	fmt.Printf("unitd: serving %d items on %s (workers=%d, weights=%+v)\n",
-		*items, *addr, *workers, cfg.Weights)
+	fmt.Printf("unitd: serving %d items on %s (shards=%d, workers=%d, weights=%+v)\n",
+		*items, *addr, *shards, *workers, cfg.Weights)
 
 	select {
 	case err := <-errCh:
@@ -135,7 +150,7 @@ func run() int {
 		}
 		fmt.Fprintln(os.Stderr, "unitd: drain window expired, connections closed")
 	}
-	srv.Close() // drain the query pool: queued work resolves as rejections
+	drainFn() // drain the query pool: queued work resolves as rejections
 	fmt.Println("unitd: stopped")
 	return 0
 }

@@ -26,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced-scale trace")
 	csvDir := flag.String("csv", "", "directory for Figure 3 per-item CSV dumps")
 	workers := flag.Int("workers", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical either way)")
+	shards := flag.Int("shards", 1, "engine shard count per cell; >1 partitions items across independent shards behind the front-door router")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -33,6 +34,7 @@ func main() {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Workers = *workers
+	cfg.Shards = *shards
 
 	run := func(name string, fn func() error) {
 		start := time.Now()

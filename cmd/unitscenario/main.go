@@ -6,7 +6,7 @@
 //
 //	unitscenario list
 //	unitscenario describe <name>
-//	unitscenario run [-seed N] [-trace out.jsonl] <name>
+//	unitscenario run [-seed N] [-shards N] [-trace out.jsonl] <name>
 //	unitscenario run -all [-seed N] [-outdir dir]
 //
 // run prints each scenario's Report as JSON and exits non-zero if any
@@ -88,6 +88,7 @@ func describe(name string) {
 func run(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "master seed; one integer replays a deterministic scenario exactly")
+	shards := fs.Int("shards", 1, "engine shard count; >1 replays the story weak-scaled across independent shards behind the front-door router")
 	tracePath := fs.String("trace", "", "write the scenario's trace (spans + decisions) to this file as JSONL")
 	all := fs.Bool("all", false, "run every registered scenario")
 	outdir := fs.String("outdir", "", "with -all: write one <scenario>.jsonl trace per run into this directory")
@@ -130,7 +131,7 @@ func run(args []string) {
 		if dump != "" {
 			rec = trace.New(traceEventCap, traceDecisionCap)
 		}
-		rep, err := s.Run(scenario.RunConfig{Seed: *seed, Trace: rec})
+		rep, err := s.Run(scenario.RunConfig{Seed: *seed, Shards: *shards, Trace: rec})
 		if err != nil {
 			fatalf("%s: %v", name, err)
 		}

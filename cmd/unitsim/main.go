@@ -34,6 +34,7 @@ func main() {
 	cfm := flag.Float64("cfm", 0, "deadline-missed penalty C_fm")
 	cfs := flag.Float64("cfs", 0, "data-stale penalty C_fs")
 	quick := flag.Bool("quick", false, "use the reduced-scale trace")
+	shards := flag.Int("shards", 1, "engine shard count; >1 partitions items across independent shards behind the front-door router")
 	seed := flag.Uint64("seed", 42, "query-trace seed")
 	tracePath := flag.String("trace", "", "write the query-lifecycle trace and controller decision log to this file as JSONL")
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 	cfg.Policy = unit.PolicyName(strings.ToUpper(*policy))
 	cfg.Weights = unit.Weights{Cr: *cr, Cfm: *cfm, Cfs: *cfs}
 	cfg.QuerySeed = *seed
+	cfg.Shards = *shards
 
 	var ok bool
 	if cfg.Volume, ok = parseVolume(*volume); !ok {

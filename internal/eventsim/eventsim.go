@@ -5,7 +5,6 @@
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -65,7 +64,7 @@ func (s *Sim) At(t float64, fn func()) *Event {
 	}
 	e := &Event{time: t, seq: s.nextID, fn: fn}
 	s.nextID++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 	return e
 }
 
@@ -85,14 +84,14 @@ func (s *Sim) Cancel(e *Event) {
 	}
 	e.cancelled = true
 	if e.index >= 0 { // still queued: unlink now to keep the heap small
-		heap.Remove(&s.events, e.index)
+		s.events.removeAt(e.index)
 	}
 }
 
 // Step executes the next event. It reports whether an event was executed.
 func (s *Sim) Step() bool {
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(*Event)
+	for len(s.events) > 0 {
+		e := s.events.pop()
 		if e.cancelled {
 			continue
 		}
@@ -112,10 +111,10 @@ func (s *Sim) Step() bool {
 // or exactly until when limited. It returns the number of events executed.
 func (s *Sim) Run(until float64) int64 {
 	start := s.fired
-	for s.events.Len() > 0 {
+	for len(s.events) > 0 {
 		next := s.events[0]
 		if next.cancelled {
-			heap.Pop(&s.events)
+			s.events.pop()
 			continue
 		}
 		if next.time > until {
@@ -137,31 +136,96 @@ func (s *Sim) RunAll() int64 {
 	return s.fired - start
 }
 
+// eventHeap is a hand-rolled binary min-heap over (time, seq). It used
+// to implement container/heap.Interface; the concrete sift functions
+// below keep the exact same total order (seq makes the comparator
+// strict, so extraction order is identical) while avoiding the
+// interface-dispatch cost on every comparison and swap — the heap is
+// the simulation kernel's hottest code.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// eventBefore is the heap order: earlier time first, schedule order
+// (seq) breaking ties.
+func eventBefore(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+
+func (h *eventHeap) push(e *Event) {
 	e.index = len(*h)
 	*h = append(*h, e)
+	h.siftUp(e.index)
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// pop removes and returns the minimum. The caller guarantees the heap
+// is non-empty.
+func (h *eventHeap) pop() *Event {
+	s := *h
+	n := len(s) - 1
+	e := s[0]
+	if n > 0 {
+		s[0] = s[n]
+		s[0].index = 0
+	}
+	s[n] = nil
+	*h = s[:n]
+	h.siftDown(0)
 	e.index = -1
 	return e
+}
+
+// removeAt unlinks the event at heap position i (Cancel's path).
+func (h *eventHeap) removeAt(i int) {
+	s := *h
+	n := len(s) - 1
+	e := s[i]
+	if i != n {
+		s[i] = s[n]
+		s[i].index = i
+	}
+	s[n] = nil
+	*h = s[:n]
+	if i < n {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+	e.index = -1
+}
+
+func (h *eventHeap) siftUp(i int) {
+	s := *h
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventBefore(s[i], s[p]) {
+			return
+		}
+		s[i], s[p] = s[p], s[i]
+		s[i].index = i
+		s[p].index = p
+		i = p
+	}
+}
+
+func (h *eventHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && eventBefore(s[r], s[l]) {
+			m = r
+		}
+		if !eventBefore(s[m], s[i]) {
+			return
+		}
+		s[i], s[m] = s[m], s[i]
+		s[i].index = i
+		s[m].index = m
+		i = m
+	}
 }

@@ -51,6 +51,13 @@ type Config struct {
 	// derived from the stable (suite, cell) name, never from execution
 	// order (see CellSeeds and package runner).
 	Workers int
+	// Shards partitions every cell's run across N engine shards behind
+	// the front-door router (engine.RunSharded). Values <= 1 run the
+	// plain single engine, bitwise-identical to the pre-sharding path;
+	// each shard's seeds derive from the cell seeds by shard index, so
+	// results replay identically at any worker count for a fixed shard
+	// count.
+	Shards int
 }
 
 // DefaultConfig returns the full-scale experiment configuration.
@@ -125,6 +132,23 @@ func (c Config) RunCellNamed(suite, cell string, w *workload.Workload, name Poli
 }
 
 func (c Config) runSeeded(w *workload.Workload, name PolicyName, weights usm.Weights, policySeed, engineSeed uint64) (*engine.Results, error) {
+	if c.Shards > 1 {
+		return engine.RunSharded(engine.ShardedConfig{
+			Shards:       c.Shards,
+			Workload:     w,
+			Weights:      weights,
+			Seed:         engineSeed,
+			PolicySeed:   policySeed,
+			PhaseUpdates: true,
+			Policy: func(_ int, seed uint64) (engine.Policy, error) {
+				return NewPolicy(name, weights, seed)
+			},
+			// The sweep already fans cells across the pool; shards within a
+			// cell run sequentially to keep the concurrency bounded by
+			// Workers alone.
+			Workers: 1,
+		})
+	}
 	p, err := NewPolicy(name, weights, policySeed)
 	if err != nil {
 		return nil, err

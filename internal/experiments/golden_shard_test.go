@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// shardMatrix returns the shard counts the invariance suite runs at:
+// the UNIT_SHARDS env (comma-separated), or {1, 2, 8} by default — the
+// counts the ROADMAP pins for the sharded engine's golden coverage.
+func shardMatrix(t *testing.T) []int {
+	raw := os.Getenv("UNIT_SHARDS")
+	if raw == "" {
+		return []int{1, 2, 8}
+	}
+	var out []int
+	for _, part := range strings.Split(raw, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			t.Fatalf("bad UNIT_SHARDS entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// goldenShardPath returns the fixture for one shard count. Shards <= 1
+// deliberately reuses the pre-sharding fixture: the front door at N=1
+// must reproduce the single-engine artifact byte-for-byte.
+func goldenShardPath(shards int) string {
+	if shards <= 1 {
+		return goldenPath
+	}
+	return fmt.Sprintf("testdata/golden_quick_shards%d.json", shards)
+}
+
+// TestGoldenQuickReplicationSharded is the shard-count-invariance pin:
+// the QuickConfig suite replays byte-identically at every shard count in
+// the matrix, against per-count fixtures — and the shards=1 fixture is
+// the pre-sharding golden itself, so N=1 staying green proves sharding
+// is a bitwise no-op when disabled. Regenerate the N>1 fixtures with
+// -update-golden after any intentional behaviour change.
+func TestGoldenQuickReplicationSharded(t *testing.T) {
+	for _, shards := range shardMatrix(t) {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			if testing.Short() && shards > 1 {
+				t.Skip("sharded golden replication skipped in -short mode")
+			}
+			cfg := QuickConfig()
+			cfg.Shards = shards
+			got := marshalSummary(t, mustSummary(t, cfg))
+
+			path := goldenShardPath(shards)
+			if *updateGolden && shards > 1 {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (regenerate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("QuickConfig summary at shards=%d diverges from %s (%d vs %d bytes)",
+					shards, path, len(got), len(want))
+			}
+
+			// The sweep must stay worker-invariant with sharding on: the
+			// sequential reference path reproduces the same bytes.
+			cfg.Workers = 1
+			if seq := marshalSummary(t, mustSummary(t, cfg)); !bytes.Equal(seq, want) {
+				t.Errorf("sequential sweep at shards=%d diverges from %s", shards, path)
+			}
+		})
+	}
+}
+
+func mustSummary(t *testing.T, cfg Config) *Summary {
+	t.Helper()
+	s, err := BuildSummary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

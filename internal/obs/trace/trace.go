@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -86,6 +87,10 @@ type Event struct {
 	Wait     float64 `json:"wait,omitempty"`     // time since arrival, on execute
 	Outcome  string  `json:"outcome,omitempty"`  // terminal outcome, on outcome
 	Fresh    float64 `json:"fresh,omitempty"`    // freshness read, on outcome
+	// Shard is the 1-based shard index in streams merged from a sharded
+	// run (see Merge); zero — and absent from the JSON — in single-engine
+	// streams, so pre-sharding dumps stay byte-identical.
+	Shard int `json:"shard,omitempty"`
 
 	// Stages is the finalized per-stage latency attribution, set on
 	// outcome events when the caller tracks stage boundaries (the engine
@@ -112,6 +117,9 @@ type Decision struct {
 	Action        string  `json:"action"`
 	CFlex         float64 `json:"cflex"`
 	DegradedItems int     `json:"degraded_items"`
+	// Shard is the 1-based shard index in merged streams (see Merge);
+	// zero and absent in single-engine streams.
+	Shard int `json:"shard,omitempty"`
 }
 
 // Default ring capacities.
@@ -255,6 +263,61 @@ func (r *Recorder) Dropped() (events, decisions uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.dropped, r.ddropped
+}
+
+// Merge folds the buffered streams of srcs into dst as one totally
+// ordered logical stream: records sort by timestamp, ties break by
+// source index and then by the source's own sequence order, and every
+// record is stamped with its 1-based source shard before being
+// re-recorded (dst assigns fresh sequence numbers). The result is a
+// pure function of the sources' buffer contents, so merged dumps from a
+// sharded run replay byte-identically — the property the scenario
+// shard-replay tests pin. Records beyond dst's ring capacities fall off
+// oldest-first, exactly as if dst had recorded them live.
+func Merge(dst *Recorder, srcs ...*Recorder) {
+	type rec struct {
+		t   float64
+		src int
+		seq uint64 // source-local sequence
+		ev  *Event
+		dec *Decision
+	}
+	var all []rec
+	for s, r := range srcs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		events := r.eventsLocked()
+		decisions := r.decisionsLocked()
+		r.mu.Unlock()
+		for i := range events {
+			all = append(all, rec{t: events[i].T, src: s, seq: events[i].Seq, ev: &events[i]})
+		}
+		for i := range decisions {
+			all = append(all, rec{t: decisions[i].T, src: s, seq: decisions[i].Seq, dec: &decisions[i]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].t != all[j].t {
+			return all[i].t < all[j].t
+		}
+		if all[i].src != all[j].src {
+			return all[i].src < all[j].src
+		}
+		return all[i].seq < all[j].seq
+	})
+	for _, r := range all {
+		if r.ev != nil {
+			ev := *r.ev
+			ev.Shard = r.src + 1
+			dst.Record(ev)
+			continue
+		}
+		d := *r.dec
+		d.Shard = r.src + 1
+		dst.RecordDecision(d)
+	}
 }
 
 // decisionLine is a Decision tagged for the merged JSONL stream.

@@ -9,6 +9,7 @@ import (
 	"unitdb/internal/engine"
 	"unitdb/internal/experiments/runner"
 	"unitdb/internal/faults"
+	"unitdb/internal/obs/trace"
 	"unitdb/internal/txn"
 	"unitdb/internal/workload"
 )
@@ -65,18 +66,26 @@ func (p *observer) OnControlTick() {
 }
 
 // engineRun bundles everything a simulator scenario's property can
-// reason about.
+// reason about. For sharded runs res is the front door's merged logical
+// view, windows are the element-wise sum of the per-shard observers'
+// windows (shards share the virtual-time axis), maxQueue is the worst
+// single shard's sampled depth, and injected sums the per-shard
+// injectors' tallies.
 type engineRun struct {
 	res      *engine.Results
 	injected faults.Counts
 	windows  []usm.Counts
 	maxQueue int
+	shards   int
 }
 
 // runEngine replays one simulator scenario cell: the given workload
 // under the UNIT policy with the given fault schedule, every random
 // stream sub-seeded from cfg.Seed via the scenario's name.
 func runEngine(name string, cfg RunConfig, w *workload.Workload, sched *faults.Schedule) (*engineRun, error) {
+	if cfg.Shards > 1 {
+		return runEngineSharded(name, cfg, w, sched)
+	}
 	pcfg := core.DefaultConfig(scenarioWeights)
 	pcfg.Seed = runner.DeriveSeed(cfg.Seed, "scenario", name, "policy")
 	pol := &observer{Policy: core.New(pcfg)}
@@ -92,7 +101,75 @@ func runEngine(name string, cfg RunConfig, w *workload.Workload, sched *faults.S
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", name, err)
 	}
-	return &engineRun{res: res, injected: inj.Counts(), windows: pol.windows, maxQueue: pol.maxQueue}, nil
+	return &engineRun{res: res, injected: inj.Counts(), windows: pol.windows, maxQueue: pol.maxQueue, shards: 1}, nil
+}
+
+// runEngineSharded replays the scenario cell across cfg.Shards engine
+// shards behind the front-door router. Each shard gets its own observer
+// policy and fault injector (ShardedConfig factories run sequentially in
+// shard order, so capturing them by index is safe); afterwards the
+// per-shard window series sum element-wise (all shards share one
+// virtual-time axis), the queue bound takes the worst shard, and the
+// injection tallies sum. With a trace recorder attached, each shard
+// records into its own ring and the streams merge shard-stamped and
+// totally ordered (trace.Merge), so sharded replays stay byte-identical
+// per seed too.
+func runEngineSharded(name string, cfg RunConfig, w *workload.Workload, sched *faults.Schedule) (*engineRun, error) {
+	n := cfg.Shards
+	observers := make([]*observer, n)
+	injectors := make([]*faults.Injector, n)
+	var perShard []*trace.Recorder
+	scfg := engine.ShardedConfig{
+		Shards:       n,
+		Workload:     w,
+		Weights:      scenarioWeights,
+		Seed:         runner.DeriveSeed(cfg.Seed, "scenario", name, "engine"),
+		PolicySeed:   runner.DeriveSeed(cfg.Seed, "scenario", name, "policy"),
+		PhaseUpdates: true,
+		Policy: func(shard int, seed uint64) (engine.Policy, error) {
+			pcfg := core.DefaultConfig(scenarioWeights)
+			pcfg.Seed = seed
+			observers[shard] = &observer{Policy: core.New(pcfg)}
+			return observers[shard], nil
+		},
+		Disturbance: func(shard int) engine.Disturbance {
+			injectors[shard] = faults.NewInjector(sched)
+			return injectors[shard]
+		},
+	}
+	if cfg.Trace != nil {
+		perShard = make([]*trace.Recorder, n)
+		scfg.Trace = func(shard int) *trace.Recorder {
+			perShard[shard] = trace.New(cfg.Trace.EventCap(), cfg.Trace.DecisionCap())
+			return perShard[shard]
+		}
+	}
+	run, err := engine.RunShardedDetail(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if cfg.Trace != nil {
+		trace.Merge(cfg.Trace, perShard...)
+	}
+	r := &engineRun{res: run.Merged, shards: n}
+	for i := 0; i < n; i++ {
+		for wi, c := range observers[i].windows {
+			for len(r.windows) <= wi {
+				r.windows = append(r.windows, usm.Counts{})
+			}
+			r.windows[wi].Add(c)
+		}
+		if observers[i].maxQueue > r.maxQueue {
+			r.maxQueue = observers[i].maxQueue
+		}
+		c := injectors[i].Counts()
+		r.injected.UpdatesBlocked += c.UpdatesBlocked
+		r.injected.QueriesStalled += c.QueriesStalled
+		r.injected.ExecInflations += c.ExecInflations
+		r.injected.QueryInflations += c.QueryInflations
+		r.injected.Disconnects += c.Disconnects
+	}
+	return r, nil
 }
 
 // scenarioTrace builds the standard scenario workload: the chaos
@@ -100,7 +177,16 @@ func runEngine(name string, cfg RunConfig, w *workload.Workload, sched *faults.S
 // per window) with the given arrival/read shape, overlaid with a
 // medium-volume update stream. The update stream derives its own seed
 // so reshaping queries never silently reshuffles the feeds.
-func scenarioTrace(seed uint64, shape workload.Shape, dist workload.Distribution) (*workload.Workload, error) {
+//
+// Sharded runs weak-scale: N shards are N CPUs, so the trace carries N
+// times the queries at N times the aggregate query utilization, and the
+// update stream delivers N times the volume while keeping the N=1 trace's
+// update-feed count and per-item periods (TotalOverride pins the feed
+// total before the utilization scale spreads the extra volume across
+// them). Every shard then sees roughly the single-engine operating point
+// and the recovery properties keep their meaning. At shards <= 1 the
+// trace is bitwise-identical to earlier releases.
+func scenarioTrace(seed uint64, shards int, shape workload.Shape, dist workload.Distribution) (*workload.Workload, error) {
 	qc := workload.SmallQueryConfig()
 	qc.NumItems = 64
 	qc.NumQueries = 6000
@@ -108,11 +194,18 @@ func scenarioTrace(seed uint64, shape workload.Shape, dist workload.Distribution
 	qc.BurstFraction = 0
 	qc.NumBursts = 0
 	qc.BurstWidth = 0
+	ucfg := workload.DefaultUpdateConfig(workload.Med, dist)
+	if shards > 1 {
+		qc.NumQueries *= shards
+		qc.TargetUtilization *= float64(shards)
+		ucfg.TotalOverride = workload.Med.TotalUpdates(6000)
+		ucfg.UtilizationScale = float64(shards)
+	}
 	q, err := workload.GenerateShaped(qc, shape, seed)
 	if err != nil {
 		return nil, err
 	}
-	return workload.GenerateUpdates(q, workload.DefaultUpdateConfig(workload.Med, dist), runner.DeriveSeed(seed, "updates"))
+	return workload.GenerateUpdates(q, ucfg, runner.DeriveSeed(seed, "updates"))
 }
 
 // summarize converts an engine run into the Report pieces.
@@ -258,8 +351,12 @@ func floorCheck(ws []usm.Counts, floor float64) Check {
 
 // conservationCheck asserts every presented query is accounted for
 // exactly once: finalized outcomes plus abandoned clients must equal
-// the workload's query count.
+// the workload's query count. presented is the N=1 trace's count; weak
+// scaling multiplies it by the shard count.
 func conservationCheck(r *engineRun, presented int) Check {
+	if r.shards > 1 {
+		presented *= r.shards
+	}
 	got := r.res.Counts.Total() + r.res.QueriesAbandoned
 	return checkf("conservation", got == presented,
 		"outcomes %d + abandoned %d = %d, presented %d",

@@ -36,6 +36,12 @@ type RunConfig struct {
 	// controller decisions (virtual-time stamped for deterministic
 	// scenarios, wall-time for live ones).
 	Trace *trace.Recorder
+	// Shards replays the story across N engine shards behind the
+	// front-door router (engine.RunShardedDetail), weak-scaled: N shards
+	// are N CPUs, so the trace carries N times the query and update
+	// volume while per-item update periods stay fixed. Values <= 1 run
+	// the plain single engine, bitwise-identical to earlier releases.
+	Shards int
 }
 
 // Scenario is one named failure story.
@@ -112,6 +118,7 @@ type Report struct {
 	Scenario      string   `json:"scenario"`
 	Seed          uint64   `json:"seed"`
 	Deterministic bool     `json:"deterministic"`
+	Shards        int      `json:"shards,omitempty"`
 	Summary       Summary  `json:"summary"`
 	Windows       []Window `json:"windows,omitempty"`
 	Property      Property `json:"property"`

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"unitdb/internal/obs/trace"
+)
+
+// scenarioShardCounts are the shard counts the scenario invariance
+// suite replays at (the ROADMAP's sharded-engine coverage points).
+var scenarioShardCounts = []int{2, 8}
+
+// TestScenarioPropertiesSharded replays every deterministic scenario
+// across the shard matrix and asserts the same recovery properties
+// hold: weak scaling keeps every shard near the single-engine operating
+// point, so the stories keep their meaning behind the front door.
+func TestScenarioPropertiesSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded scenario properties skipped in -short mode")
+	}
+	for _, shards := range scenarioShardCounts {
+		for _, name := range deterministicNames() {
+			name, shards := name, shards
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				t.Parallel()
+				s, _ := Get(name)
+				rep, err := s.Run(RunConfig{Seed: scenarioSeed, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Shards != shards {
+					t.Errorf("Report.Shards = %d, want %d", rep.Shards, shards)
+				}
+				for _, c := range rep.Property.Checks {
+					if c.Pass {
+						t.Logf("ok   %-20s %s", c.Name, c.Detail)
+					} else {
+						t.Errorf("FAIL %-20s %s", c.Name, c.Detail)
+					}
+				}
+				if !rep.Property.Pass {
+					t.Errorf("property violated at shards=%d (summary %+v)", shards, rep.Summary)
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioShardOneMatchesUnsharded pins the no-op contract at the
+// scenario layer: Shards=1 (and 0) replays the exact unsharded Report.
+func TestScenarioShardOneMatchesUnsharded(t *testing.T) {
+	for _, name := range deterministicNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, _ := Get(name)
+			base, err := s.Run(RunConfig{Seed: scenarioSeed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{0, 1} {
+				got, err := s.Run(RunConfig{Seed: scenarioSeed, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("Shards=%d report diverges from the unsharded run:\n%+v\n%+v",
+						shards, base.Summary, got.Summary)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioReplayIdenticalSharded extends the determinism contract
+// behind the front door: per (seed, shard count) the Report replays
+// DeepEqual-identically and the merged shard-stamped trace JSONL is
+// byte-identical; a different seed diverges.
+func TestScenarioReplayIdenticalSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded scenario replay skipped in -short mode")
+	}
+	for _, shards := range scenarioShardCounts {
+		for _, name := range deterministicNames() {
+			name, shards := name, shards
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				t.Parallel()
+				s, _ := Get(name)
+				run := func(seed uint64) (*Report, []byte) {
+					rec := trace.New(1<<18, 1<<14)
+					rep, err := s.Run(RunConfig{Seed: seed, Shards: shards, Trace: rec})
+					if err != nil {
+						t.Fatal(err)
+					}
+					var buf bytes.Buffer
+					if err := rec.WriteJSONL(&buf); err != nil {
+						t.Fatal(err)
+					}
+					return rep, buf.Bytes()
+				}
+				r1, t1 := run(scenarioSeed)
+				r2, t2 := run(scenarioSeed)
+				if !reflect.DeepEqual(r1, r2) {
+					t.Errorf("same-seed sharded reports diverge:\n%+v\n%+v", r1.Summary, r2.Summary)
+				}
+				if !bytes.Equal(t1, t2) {
+					t.Errorf("same-seed merged traces diverge (%d vs %d bytes)", len(t1), len(t2))
+				}
+				if len(t1) == 0 {
+					t.Error("merged trace recorder captured nothing")
+				}
+				if !bytes.Contains(t1, []byte(`"shard":`)) {
+					t.Error("merged trace carries no shard stamps")
+				}
+				r3, _ := run(scenarioSeed + 1)
+				if reflect.DeepEqual(r1.Summary, r3.Summary) {
+					t.Error("different seeds replayed identical sharded summaries; the seed is not flowing")
+				}
+			})
+		}
+	}
+}

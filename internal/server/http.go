@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -9,7 +10,9 @@ import (
 	"strings"
 	"time"
 
+	"unitdb/internal/obs/metrics"
 	"unitdb/internal/obs/promtext"
+	"unitdb/internal/obs/trace"
 )
 
 // MaxQueryItems bounds the items list a single query may name. Larger
@@ -20,6 +23,20 @@ const MaxQueryItems = 64
 // disconnected (nginx's 499 convention; no standard code exists). The
 // response is written for symmetry only — the client is gone.
 const statusClientClosedRequest = 499
+
+// backend is the server surface the HTTP layer drives: a single live
+// Server, or the sharded front door routing over several of them. Both
+// share one handler, so the HTTP contract (endpoints, status codes,
+// response shapes) is identical at every shard count.
+type backend interface {
+	QueryCtx(ctx context.Context, req QueryRequest) QueryResponse
+	Update(req UpdateRequest) (bool, error)
+	StatsWindow(window time.Duration) Stats
+	RetryAfter() time.Duration
+	Metrics() *metrics.Registry
+	TraceRecorder() *trace.Recorder
+	slowTop(n int) []slowEntry
+}
 
 // Handler returns the HTTP interface of the live server:
 //
@@ -35,22 +52,29 @@ const statusClientClosedRequest = 499
 // Outcomes map to status codes: success 200, data-stale 206 (the result is
 // returned with a staleness notice, paper §3.1), rejected 429 with a
 // Retry-After estimate, deadline-missed 504, canceled 499.
-func (s *Server) Handler() http.Handler {
+func (s *Server) Handler() http.Handler { return newHandler(s) }
+
+// newHandler wires the shared HTTP surface onto one backend.
+func newHandler(b backend) http.Handler {
+	a := &httpAPI{b: b}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/update", s.handleUpdate)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/trace", s.handleTrace)
-	mux.HandleFunc("/debug/controller", s.handleController)
-	mux.HandleFunc("/debug/slow", s.handleSlow)
+	mux.HandleFunc("/query", a.handleQuery)
+	mux.HandleFunc("/update", a.handleUpdate)
+	mux.HandleFunc("/stats", a.handleStats)
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/debug/trace", a.handleTrace)
+	mux.HandleFunc("/debug/controller", a.handleController)
+	mux.HandleFunc("/debug/slow", a.handleSlow)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 	return mux
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// httpAPI carries the backend through the handler methods.
+type httpAPI struct{ b backend }
+
+func (a *httpAPI) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
@@ -86,12 +110,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp := s.QueryCtx(r.Context(), QueryRequest{Items: items, Deadline: deadline, Work: work, Freshness: fresh})
+	resp := a.b.QueryCtx(r.Context(), QueryRequest{Items: items, Deadline: deadline, Work: work, Freshness: fresh})
 	code := http.StatusOK
 	switch resp.Outcome {
 	case OutcomeRejected:
 		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds())))
+		w.Header().Set("Retry-After", strconv.Itoa(int(a.b.RetryAfter().Seconds())))
 	case OutcomeDMF:
 		code = http.StatusGatewayTimeout
 	case OutcomeDSF:
@@ -102,7 +126,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+func (a *httpAPI) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -130,7 +154,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad work: must not be negative", http.StatusBadRequest)
 		return
 	}
-	applied, err := s.Update(UpdateRequest{Item: item, Value: value, Work: work})
+	applied, err := a.b.Update(UpdateRequest{Item: item, Value: value, Work: work})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -138,7 +162,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"applied": applied})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (a *httpAPI) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
@@ -152,19 +176,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		window = d
 	}
-	writeJSON(w, http.StatusOK, s.StatsWindow(window))
+	writeJSON(w, http.StatusOK, a.b.StatsWindow(window))
 }
 
 // handleMetrics serves the registry in Prometheus text exposition format
 // (version 0.0.4). The scrape reads atomic snapshots only — it never takes
 // the server's lock, so it stays responsive under query load.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (a *httpAPI) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
 	w.Header().Set("Content-Type", promtext.ContentType)
-	_ = promtext.Write(w, s.obs.reg.Snapshot())
+	_ = promtext.Write(w, a.b.Metrics().Snapshot())
 }
 
 // parseN parses the n=K tail-length parameter of the debug endpoints;
@@ -185,7 +209,7 @@ func parseN(r *http.Request) (int, error) {
 // n absent (or 0) returns everything buffered; n is capped at the ring
 // capacity, beyond which no more events can exist. query=<id> filters to
 // one query's spans — the hop a histogram-bucket exemplar links through.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+func (a *httpAPI) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
@@ -195,17 +219,18 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if n > s.obs.rec.EventCap() {
-		n = s.obs.rec.EventCap()
+	rec := a.b.TraceRecorder()
+	if n > rec.EventCap() {
+		n = rec.EventCap()
 	}
-	evDropped, _ := s.obs.rec.Dropped()
+	evDropped, _ := rec.Dropped()
 	if raw := r.URL.Query().Get("query"); raw != "" {
 		id, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
 			http.Error(w, "bad query: must be an integer query id", http.StatusBadRequest)
 			return
 		}
-		events := s.obs.rec.EventsFor(id)
+		events := rec.EventsFor(id)
 		if n > 0 && n < len(events) {
 			events = events[len(events)-n:]
 		}
@@ -217,7 +242,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"events":  s.obs.rec.Events(n),
+		"events":  rec.Events(n),
 		"dropped": evDropped,
 	})
 }
@@ -225,7 +250,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // handleController serves the last n Load Balancing Controller decisions
 // as JSON. n absent (or 0) returns everything buffered; n is capped at
 // the decision-ring capacity.
-func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
+func (a *httpAPI) handleController(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
@@ -235,12 +260,13 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if n > s.obs.rec.DecisionCap() {
-		n = s.obs.rec.DecisionCap()
+	rec := a.b.TraceRecorder()
+	if n > rec.DecisionCap() {
+		n = rec.DecisionCap()
 	}
-	_, decDropped := s.obs.rec.Dropped()
+	_, decDropped := rec.Dropped()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"decisions": s.obs.rec.Decisions(n),
+		"decisions": rec.Decisions(n),
 		"dropped":   decDropped,
 	})
 }
@@ -248,7 +274,7 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 // handleSlow serves the n slowest resolved queries retained so far,
 // slowest first, each with its latency and stage breakdown. n absent
 // (or 0) returns everything retained (at most the tracker's capacity).
-func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+func (a *httpAPI) handleSlow(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
@@ -258,7 +284,7 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	entries := s.obs.slow.topN(n)
+	entries := a.b.slowTop(n)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"slowest": entries,
 		"count":   len(entries),

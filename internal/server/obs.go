@@ -67,13 +67,25 @@ var stageLabels = []string{"queue_wait", "lock_wait", "exec", "overhead"}
 // slowCap bounds the /debug/slow top-N tracker.
 const slowCap = 64
 
-// newServerObs builds the observability surface. rec is the span-event
-// recorder to use — Config.Trace when a harness injects its own, nil for
-// a fresh internal ring of traceCap events.
-func newServerObs(traceCap int, rec *trace.Recorder) *serverObs {
-	reg := metrics.NewRegistry()
+// newServerObs builds the observability surface. reg is the registry to
+// register into — a shared registry when the server is one shard behind
+// the front door, nil for a fresh private one. rec is the span-event
+// recorder to use — Config.Trace when a harness injects its own (or the
+// front door's shared ring), nil for a fresh internal ring of traceCap
+// events. extra labels (e.g. shard="3") are appended to every series the
+// surface registers, so shards share one registry without colliding
+// while the family names stay identical to the single-server layout.
+func newServerObs(reg *metrics.Registry, traceCap int, rec *trace.Recorder, extra ...metrics.Label) *serverObs {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	if rec == nil {
 		rec = trace.New(traceCap, 0)
+	}
+	lab := func(ls ...metrics.Label) []metrics.Label {
+		out := make([]metrics.Label, 0, len(ls)+len(extra))
+		out = append(out, ls...)
+		return append(out, extra...)
 	}
 	o := &serverObs{
 		reg:      reg,
@@ -87,51 +99,51 @@ func newServerObs(traceCap int, rec *trace.Recorder) *serverObs {
 	for _, out := range []Outcome{OutcomeSuccess, OutcomeRejected, OutcomeDMF, OutcomeDSF, OutcomeCanceled} {
 		o.outcomes[out] = reg.Counter("unit_queries_total",
 			"Resolved user queries by terminal outcome.",
-			metrics.Label{Key: "outcome", Value: string(out)})
+			lab(metrics.Label{Key: "outcome", Value: string(out)})...)
 	}
 	o.shed = reg.Counter("unit_queries_shed_total",
-		"Queries rejected by the MaxQueue overload backstop.")
+		"Queries rejected by the MaxQueue overload backstop.", lab()...)
 	o.panicked = reg.Counter("unit_work_panics_total",
-		"Query or refresh computations that panicked (contained; the pool never shrinks).")
+		"Query or refresh computations that panicked (contained; the pool never shrinks).", lab()...)
 	o.drained = reg.Counter("unit_queries_drained_total",
-		"Queued queries resolved as rejections during graceful shutdown.")
+		"Queued queries resolved as rejections during graceful shutdown.", lab()...)
 	o.updates[true] = reg.Counter("unit_updates_total",
-		"Update-feed writes by fate.", metrics.Label{Key: "result", Value: "applied"})
+		"Update-feed writes by fate.", lab(metrics.Label{Key: "result", Value: "applied"})...)
 	o.updates[false] = reg.Counter("unit_updates_total",
-		"Update-feed writes by fate.", metrics.Label{Key: "result", Value: "dropped"})
+		"Update-feed writes by fate.", lab(metrics.Label{Key: "result", Value: "dropped"})...)
 	o.latency = reg.Histogram("unit_query_latency_seconds",
 		"Wall-clock latency of resolved queries, all outcomes.",
-		latencyLo, latencyHi, latencyBuckets)
+		latencyLo, latencyHi, latencyBuckets, lab()...)
 	for _, st := range stageLabels {
 		o.stages[st] = reg.Histogram("unit_query_stage_seconds",
 			"Wall-clock time resolved queries spent per pipeline stage; bucket exemplars carry the last query id observed.",
 			latencyLo, latencyHi, latencyBuckets,
-			metrics.Label{Key: "stage", Value: st})
+			lab(metrics.Label{Key: "stage", Value: st})...)
 	}
 	reg.Gauge("unit_build_info",
 		"Build metadata; the value is always 1.",
-		metrics.Label{Key: "goversion", Value: runtime.Version()},
-		metrics.Label{Key: "version", Value: version.Version}).Set(1)
+		lab(metrics.Label{Key: "goversion", Value: runtime.Version()},
+			metrics.Label{Key: "version", Value: version.Version})...).Set(1)
 	o.usmWindow = reg.Gauge("unit_usm_window",
-		"User Satisfaction Metric over the current control window (Eq. 5).")
+		"User Satisfaction Metric over the current control window (Eq. 5).", lab()...)
 	o.usmTotal = reg.Gauge("unit_usm",
-		"Cumulative User Satisfaction Metric since start (Eq. 5).")
+		"Cumulative User Satisfaction Metric since start (Eq. 5).", lab()...)
 	o.cflex = reg.Gauge("unit_admission_cflex",
-		"Admission control's flexibility coefficient C_flex (paper §3.3).")
+		"Admission control's flexibility coefficient C_flex (paper §3.3).", lab()...)
 	o.queueLen = reg.Gauge("unit_queue_length",
-		"Queries waiting in the EDF ready queue.")
+		"Queries waiting in the EDF ready queue.", lab()...)
 	o.backlog = reg.Gauge("unit_backlog_seconds",
-		"Declared work queued ahead of a new arrival, seconds.")
+		"Declared work queued ahead of a new arrival, seconds.", lab()...)
 	o.degraded = reg.Gauge("unit_degraded_items",
-		"Items whose update period the modulator has degraded (paper §3.4).")
+		"Items whose update period the modulator has degraded (paper §3.4).", lab()...)
 	o.staleness = reg.Gauge("unit_stale_items",
-		"Items whose stored copy lags its source feed.")
+		"Items whose stored copy lags its source feed.", lab()...)
 	o.decisions = reg.Counter("unit_lbc_decisions_total",
-		"Load Balancing Controller allocation decisions (paper Fig. 2).")
+		"Load Balancing Controller allocation decisions (paper Fig. 2).", lab()...)
 	for _, a := range lbcActionLabels {
 		o.actions[a] = reg.Counter("unit_lbc_actions_total",
 			"Control signals fired by LBC decisions.",
-			metrics.Label{Key: "action", Value: a})
+			lab(metrics.Label{Key: "action", Value: a})...)
 	}
 	return o
 }

@@ -72,6 +72,17 @@ type Config struct {
 	// it as an artifact); TraceCap is then ignored. The recorder is
 	// write-only from the server's point of view.
 	Trace *trace.Recorder
+	// FirstID offsets the server-assigned query ids (the first query gets
+	// FirstID+1). The sharded front door gives each shard a disjoint id
+	// band so a query id names its shard globally; standalone servers
+	// leave it zero.
+	FirstID int64
+
+	// Sharding internals, set by NewSharded (never by users): the shared
+	// metrics registry and the per-shard labels appended to every series
+	// this server registers.
+	obsRegistry *metrics.Registry
+	obsLabels   []metrics.Label
 }
 
 // DefaultConfig returns a small live-server configuration.
@@ -166,6 +177,9 @@ type Stats struct {
 	// Window carries the windowed USM when the snapshot was taken with
 	// StatsWindow (GET /stats?window=...); nil otherwise.
 	Window *WindowStats `json:"window,omitempty"`
+	// Shards carries each shard's own snapshot when the stats come from
+	// the sharded front door (index = shard); nil on a plain server.
+	Shards []Stats `json:"shards,omitempty"`
 }
 
 // WindowStats is the outcome tally and USM over a trailing wall-clock
@@ -362,8 +376,9 @@ func New(cfg Config) (*Server, error) {
 		lastApplied:  make([]time.Time, cfg.NumItems),
 		lastArrival:  make([]time.Time, cfg.NumItems),
 		interArrival: make([]stats.EWMA, cfg.NumItems),
-		obs:          newServerObs(cfg.TraceCap, cfg.Trace),
+		obs:          newServerObs(cfg.obsRegistry, cfg.TraceCap, cfg.Trace, cfg.obsLabels...),
 		signals:      make(map[string]int),
+		nextID:       cfg.FirstID,
 		stopCh:       make(chan struct{}),
 	}
 	s.obs.cflex.Set(s.ac.CFlex())
@@ -423,6 +438,10 @@ func (s *Server) Metrics() *metrics.Registry { return s.obs.reg }
 // TraceRecorder exposes the wall-time trace recorder behind
 // GET /debug/trace and GET /debug/controller.
 func (s *Server) TraceRecorder() *trace.Recorder { return s.obs.rec }
+
+// slowTop returns the n slowest resolved queries retained so far
+// (GET /debug/slow), slowest first.
+func (s *Server) slowTop(n int) []slowEntry { return s.obs.slow.topN(n) }
 
 // queueGaugesLocked refreshes the queue-shape gauges. Called at every
 // mutation of the ready queue so a /metrics scrape never needs s.mu.

@@ -87,6 +87,9 @@ type Txn struct {
 	// PrefClass is the user-preference class (multi-preference extension,
 	// paper §3.1); negative means the system-wide weights apply.
 	PrefClass int
+	// GatherID correlates the per-shard slices of one logical multi-item
+	// query in a sharded run; zero for ordinary (unsharded) queries.
+	GatherID int64
 
 	// Restarts counts 2PL-HP aborts followed by restart.
 	Restarts int

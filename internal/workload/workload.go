@@ -34,6 +34,10 @@ type QuerySpec struct {
 	// means the system-wide weights apply. Multi-preference populations are
 	// the extension the paper sketches in §3.1.
 	PrefClass int
+	// GatherID correlates the per-shard slices of one logical multi-item
+	// query when a workload has been partitioned across engine shards;
+	// zero in ordinary (unsharded) traces.
+	GatherID int64
 }
 
 // UpdateSpec is the periodic update feed of one data item.
@@ -506,6 +510,15 @@ type UpdateConfig struct {
 	// positive-correlation result depends on); raise it to study the
 	// frequent-cheap-update regime.
 	CountMultiplier int
+	// TotalOverride, when positive, replaces the volume-derived total
+	// source-update count (before CountMultiplier). Sharded scenario runs
+	// use it to keep per-item update periods fixed while the query side of
+	// the trace scales with the shard count.
+	TotalOverride int
+	// UtilizationScale, when positive, multiplies the volume's target
+	// update-only utilization. Sharded scenario runs scale it by the shard
+	// count so each shard sees the original per-CPU update pressure.
+	UtilizationScale float64
 }
 
 // DefaultUpdateConfig returns an update configuration for the given Table 1
@@ -536,7 +549,11 @@ func GenerateUpdates(q *Workload, cfg UpdateConfig, seed uint64) (*Workload, err
 	if mult <= 0 {
 		mult = 1
 	}
-	total := cfg.Volume.TotalUpdates(len(q.Queries)) * mult
+	base := cfg.Volume.TotalUpdates(len(q.Queries))
+	if cfg.TotalOverride > 0 {
+		base = cfg.TotalOverride
+	}
+	total := base * mult
 
 	var counts []int
 	switch cfg.Distribution {
@@ -589,7 +606,11 @@ func GenerateUpdates(q *Workload, cfg UpdateConfig, seed uint64) (*Workload, err
 	if len(feeds) == 0 {
 		return &out, nil
 	}
-	scale := cfg.Volume.Utilization() * q.Duration / weighted
+	util := cfg.Volume.Utilization()
+	if cfg.UtilizationScale > 0 {
+		util *= cfg.UtilizationScale
+	}
+	scale := util * q.Duration / weighted
 	for _, f := range feeds {
 		out.Updates = append(out.Updates, UpdateSpec{
 			Item:   f.item,

@@ -19,8 +19,20 @@ type QueryResponse = server.QueryResponse
 // UpdateRequest is a live update-feed write.
 type UpdateRequest = server.UpdateRequest
 
+// ShardedServer is the sharded live web-database: N independent Servers
+// partitioning the item space behind one front door that scatter-gathers
+// cross-shard queries and keeps logical (per-user-query) accounting.
+type ShardedServer = server.Sharded
+
 // DefaultServerConfig returns a small live-server configuration.
 func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
 
 // NewServer creates and starts a live server. Close it when done.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewShardedServer creates and starts a sharded live server: cfg is the
+// per-shard template (Workers is divided across shards), shards is the
+// shard count. Close it when done.
+func NewShardedServer(cfg ServerConfig, shards int) (*ShardedServer, error) {
+	return server.NewSharded(cfg, shards)
+}

@@ -29,6 +29,7 @@ import (
 	"unitdb/internal/core"
 	"unitdb/internal/core/usm"
 	"unitdb/internal/engine"
+	"unitdb/internal/obs/trace"
 	"unitdb/internal/workload"
 )
 
@@ -99,6 +100,12 @@ type Config struct {
 	// controller decisions during the run (see NewTraceRecorder). A nil
 	// recorder leaves the run bitwise-unchanged.
 	Trace *TraceRecorder
+	// Shards partitions the run across N engine shards behind the
+	// front-door router: items hash to shards, multi-item queries
+	// scatter-gather (freshness = min over shard answers), and each
+	// shard's seeds derive from the run seeds by shard index. Values <= 1
+	// run the plain single engine, bitwise-identical to earlier releases.
+	Shards int
 }
 
 // DefaultConfig returns a full-scale med-unif UNIT scenario with naive
@@ -170,6 +177,9 @@ func Run(cfg Config) (*Results, error) {
 // RunWorkload executes a scenario against an already-built workload,
 // letting callers amortize trace synthesis across policies.
 func RunWorkload(cfg Config, w *workload.Workload) (*Results, error) {
+	if cfg.Shards > 1 {
+		return runShardedWorkload(cfg, w)
+	}
 	p, err := NewPolicy(cfg.Policy, cfg.Weights, cfg.PolicySeed)
 	if err != nil {
 		return nil, err
@@ -181,6 +191,41 @@ func RunWorkload(cfg Config, w *workload.Workload) (*Results, error) {
 		return nil, err
 	}
 	return e.Run()
+}
+
+// runShardedWorkload routes a scenario through the front-door shard
+// router. When a trace recorder is attached, each shard records into its
+// own ring and the streams merge into cfg.Trace afterwards, shard-
+// stamped and totally ordered (trace.Merge), so sharded dumps replay
+// deterministically too.
+func runShardedWorkload(cfg Config, w *workload.Workload) (*Results, error) {
+	var perShard []*trace.Recorder
+	scfg := engine.ShardedConfig{
+		Shards:       cfg.Shards,
+		Workload:     w,
+		Weights:      cfg.Weights,
+		Seed:         cfg.EngineSeed,
+		PolicySeed:   cfg.PolicySeed,
+		PhaseUpdates: true,
+		Policy: func(_ int, seed uint64) (engine.Policy, error) {
+			return NewPolicy(cfg.Policy, cfg.Weights, seed)
+		},
+	}
+	if cfg.Trace != nil {
+		perShard = make([]*trace.Recorder, cfg.Shards)
+		scfg.Trace = func(shard int) *trace.Recorder {
+			perShard[shard] = trace.New(cfg.Trace.EventCap(), cfg.Trace.DecisionCap())
+			return perShard[shard]
+		}
+	}
+	res, err := engine.RunSharded(scfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Trace != nil {
+		trace.Merge(cfg.Trace, perShard...)
+	}
+	return res, nil
 }
 
 // Compare runs several policies on the identical workload and returns
